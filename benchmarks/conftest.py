@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every attack benchmark needs a trained baseline; the session-scoped pipeline
+below trains it once and shares it across benchmark files.  The experiment
+scale defaults to ``benchmark`` (300 training images, ~76 % baseline) and can
+be switched to the paper's full scale with ``REPRO_SCALE=paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClassificationPipeline, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Scale selected through the REPRO_SCALE environment variable."""
+    return ExperimentConfig.from_environment(default="benchmark")
+
+
+@pytest.fixture(scope="session")
+def pipeline(experiment_config) -> ClassificationPipeline:
+    """The shared classification pipeline (dataset generated once)."""
+    return ClassificationPipeline(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def baseline_accuracy(pipeline) -> float:
+    """Attack-free accuracy (trains one network; reused by every benchmark)."""
+    return pipeline.run_baseline().accuracy

@@ -1,0 +1,73 @@
+"""Fig. 5b & 5c — driver amplitude vs VDD and time-to-spike vs amplitude.
+
+Fig. 5b: the current-mirror driver's output amplitude across the 0.8-1.2 V
+supply range (paper: 136 nA → 264 nA, i.e. −32 %/+32 %).
+
+Fig. 5c: the change in time-to-spike of both neurons when the input amplitude
+is corrupted over that range (paper: AH −24.7 %/+53.7 %, I&F −6.7 %/+14.5 %).
+"""
+
+import numpy as np
+
+from repro.circuits import amplitude_vs_vdd
+from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
+from repro.utils.tables import format_table
+
+VDD_VALUES = np.array([0.8, 0.9, 1.0, 1.1, 1.2])
+
+
+def run_fig5b():
+    circuit_amplitudes = amplitude_vs_vdd(VDD_VALUES)
+    model_amplitudes = CurrentDriverModel().amplitude_vs_vdd(VDD_VALUES)
+    return circuit_amplitudes, model_amplitudes
+
+
+def run_fig5c():
+    driver = CurrentDriverModel()
+    axon_hillock = AxonHillockModel()
+    if_neuron = IFAmplifierModel()
+    base_ah = axon_hillock.time_to_first_spike(driver.nominal_amplitude)
+    base_if = if_neuron.inter_spike_interval(driver.nominal_amplitude)
+    rows = []
+    for vdd in VDD_VALUES:
+        amplitude = driver.amplitude(vdd)
+        ah_change = (axon_hillock.time_to_first_spike(amplitude) - base_ah) / base_ah
+        if_change = (if_neuron.inter_spike_interval(amplitude) - base_if) / base_if
+        rows.append((vdd, amplitude * 1e9, ah_change * 100, if_change * 100))
+    return rows
+
+
+def test_fig5b_driver_amplitude_vs_vdd(benchmark, baseline_accuracy):
+    circuit_amps, model_amps = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    rows = [
+        (vdd, c * 1e9, m * 1e9, (c / circuit_amps[2] - 1) * 100)
+        for vdd, c, m in zip(VDD_VALUES, circuit_amps, model_amps)
+    ]
+    print(
+        format_table(
+            ["VDD (V)", "circuit amplitude (nA)", "model amplitude (nA)", "change (%)"],
+            rows,
+            title="Fig. 5b — driver output amplitude vs VDD",
+        )
+    )
+    nominal = circuit_amps[2]
+    assert (circuit_amps[0] - nominal) / nominal < -0.25
+    assert (circuit_amps[-1] - nominal) / nominal > 0.25
+
+
+def test_fig5c_time_to_spike_vs_amplitude(benchmark):
+    rows = benchmark.pedantic(run_fig5c, rounds=1, iterations=1)
+    print(
+        format_table(
+            ["VDD (V)", "Iin (nA)", "AH time-to-spike change (%)", "I&F period change (%)"],
+            rows,
+            title="Fig. 5c — time-to-spike vs input amplitude",
+        )
+    )
+    by_vdd = {row[0]: row for row in rows}
+    # Paper: AH slows by ~54 % at 0.8 V and speeds up by ~25 % at 1.2 V;
+    # the I&F neuron is several times less sensitive.
+    assert 25 < by_vdd[0.8][2] < 80
+    assert -35 < by_vdd[1.2][2] < -15
+    assert abs(by_vdd[0.8][3]) < abs(by_vdd[0.8][2]) / 2
+    assert abs(by_vdd[1.2][3]) < abs(by_vdd[1.2][2]) / 2

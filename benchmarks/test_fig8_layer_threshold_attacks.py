@@ -1,0 +1,65 @@
+"""Fig. 8a-8c — Attacks 2-4: accuracy vs membrane-threshold corruption.
+
+* Fig. 8a: excitatory-layer threshold change × fraction affected
+  (paper: worst −7.32 % at −20 %, 100 % of the layer — relatively low impact).
+* Fig. 8b: inhibitory-layer threshold change × fraction affected
+  (paper: worst −84.52 % — catastrophic).
+* Fig. 8c: both layers fully affected (paper: worst −85.65 %).
+
+The benchmark-scale grids are reduced to the corner points (±20 % change,
+0/50/100 % of the layer); run with ``REPRO_SCALE=paper`` and wider grids via
+the campaign API for the full figures.
+"""
+
+from repro.attacks import AttackCampaign
+from repro.core.reporting import format_attack_grid, format_sweep_series
+
+THRESHOLD_CHANGES = (-0.2, 0.2)
+FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def test_fig8a_attack2_excitatory_threshold(benchmark, pipeline, baseline_accuracy):
+    campaign = AttackCampaign(pipeline)
+    grid = benchmark.pedantic(
+        campaign.sweep_layer_threshold,
+        args=("excitatory", THRESHOLD_CHANGES, FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print(format_attack_grid(grid, as_change=True))
+    # Attacking the excitatory layer alone has limited impact compared to the
+    # inhibitory-layer attack (paper: -7.3 % worst case vs -84.5 %).
+    assert grid.worst_case_relative_degradation() < 0.5
+
+
+def test_fig8b_attack3_inhibitory_threshold(benchmark, pipeline, baseline_accuracy):
+    campaign = AttackCampaign(pipeline)
+    grid = benchmark.pedantic(
+        campaign.sweep_layer_threshold,
+        args=("inhibitory", THRESHOLD_CHANGES, FRACTIONS),
+        rounds=1,
+        iterations=1,
+    )
+    print(format_attack_grid(grid, as_change=True))
+    # The paper's headline: corrupting the inhibitory layer collapses accuracy.
+    assert grid.worst_case_relative_degradation() > 0.6
+    # Leaving the layer untouched (fraction 0) must match the baseline.
+    assert grid.accuracy_at(-0.2, 0.0) == baseline_accuracy
+
+
+def test_fig8c_attack4_both_layers(benchmark, pipeline, baseline_accuracy):
+    campaign = AttackCampaign(pipeline)
+    sweep = benchmark.pedantic(
+        campaign.sweep_both_layers, args=(THRESHOLD_CHANGES,), rounds=1, iterations=1
+    )
+    print(
+        format_sweep_series(
+            "threshold change",
+            sweep.values,
+            sweep.accuracies(),
+            baseline_accuracy=baseline_accuracy,
+            title="Fig. 8c — Attack 4 (both layers)",
+        )
+    )
+    worst = sweep.worst_case()
+    assert worst.result.relative_degradation > 0.6

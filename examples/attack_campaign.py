@@ -1,0 +1,63 @@
+"""Run all five power-oriented attacks against one trained pipeline.
+
+Reproduces the paper's headline comparison: the driver-only and
+excitatory-layer attacks barely move the accuracy, while the inhibitory-layer,
+both-layer and global-supply attacks collapse it.
+
+Usage::
+
+    python examples/attack_campaign.py            # benchmark scale (~5 min)
+    REPRO_SCALE=smoke python examples/attack_campaign.py   # quick look
+"""
+
+from repro.attacks import (
+    Attack1InputSpikeCorruption,
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack4BothLayerThreshold,
+    Attack5GlobalSupply,
+)
+from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    config = ExperimentConfig.from_environment(default="benchmark")
+    pipeline = ClassificationPipeline(config)
+
+    print(f"Training the attack-free baseline ({config.scale_name} scale)...")
+    baseline = pipeline.run_baseline()
+
+    attacks = [
+        Attack1InputSpikeCorruption(theta_change=-0.2),
+        Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=1.0),
+        Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
+        Attack4BothLayerThreshold(threshold_change=-0.2),
+        Attack5GlobalSupply(vdd=0.8),
+    ]
+
+    rows = [("baseline", f"{baseline.accuracy:.3f}", "-", "-")]
+    for attack in attacks:
+        print(f"Running {attack.label()} ...")
+        result = pipeline.run(attack)
+        rows.append(
+            (
+                attack.label(),
+                f"{result.accuracy:.3f}",
+                f"{result.accuracy_change:+.3f}",
+                f"{result.relative_degradation:.1%}",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ["attack", "accuracy", "change", "relative degradation"],
+            rows,
+            title="Power-oriented fault-injection attacks on the Diehl&Cook SNN",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

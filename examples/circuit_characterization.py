@@ -1,0 +1,99 @@
+"""Circuit-level characterisation of the analog neurons and drivers.
+
+Reproduces the circuit-tier sensitivity analyses of the paper (Figs. 5b, 6a
+and the robust-driver/comparator defenses) directly from the MNA netlists and
+the behavioural models, and prints a transient summary of both neurons.
+
+Usage::
+
+    python examples/circuit_characterization.py
+"""
+
+import numpy as np
+
+from repro.circuits import (
+    AxonHillockDesign,
+    amplitude_vs_vdd,
+    simulate_axon_hillock,
+    threshold_vs_vdd,
+    trip_point_vs_vdd,
+)
+from repro.circuits import robust_driver
+from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
+from repro.utils.tables import format_table
+
+VDD_VALUES = np.array([0.8, 0.9, 1.0, 1.1, 1.2])
+
+
+def supply_sensitivity_tables() -> None:
+    driver_amplitude = amplitude_vs_vdd(VDD_VALUES)
+    robust_amplitude = robust_driver.amplitude_vs_vdd(VDD_VALUES)
+    inverter_threshold = threshold_vs_vdd(VDD_VALUES)
+    comparator_trip = trip_point_vs_vdd(VDD_VALUES)
+    rows = []
+    for i, vdd in enumerate(VDD_VALUES):
+        rows.append(
+            (
+                vdd,
+                f"{driver_amplitude[i] * 1e9:.0f} nA",
+                f"{robust_amplitude[i] * 1e9:.0f} nA",
+                f"{inverter_threshold[i]:.3f} V",
+                f"{comparator_trip[i]:.3f} V",
+            )
+        )
+    print(
+        format_table(
+            ["VDD", "driver output", "robust driver", "inverter threshold", "comparator trip"],
+            rows,
+            title="Supply sensitivity of the SNN front-end circuits (Figs. 5b, 6a, 9b, 10a)",
+        )
+    )
+
+
+def behavioural_time_to_spike_table() -> None:
+    driver = CurrentDriverModel()
+    neurons = {"Axon-Hillock": AxonHillockModel(), "I&F amplifier": IFAmplifierModel()}
+    rows = []
+    for name, neuron in neurons.items():
+        base = neuron.time_to_first_spike(driver.nominal_amplitude, vdd=1.0)
+        for vdd in (0.8, 1.2):
+            amplitude = driver.amplitude(vdd)
+            tts = neuron.time_to_first_spike(amplitude, vdd=vdd)
+            rows.append((name, vdd, f"{tts * 1e6:.2f} us", f"{(tts - base) / base:+.1%}"))
+    print()
+    print(
+        format_table(
+            ["neuron", "VDD", "time-to-spike", "change"],
+            rows,
+            title="Combined amplitude + threshold effect on time-to-spike",
+        )
+    )
+
+
+def transient_waveform_summary() -> None:
+    design = AxonHillockDesign(membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12)
+    result = simulate_axon_hillock(design, stop_time="6u", time_step="5n")
+    vout = result.waveform("vout")
+    spikes = vout.detect_spikes(0.5, min_separation=200e-9)
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("membrane peak", f"{result.waveform('vmem').maximum():.3f} V"),
+                ("output peak", f"{vout.maximum():.3f} V"),
+                ("output spikes in 6 us", len(spikes)),
+            ],
+            title="Axon-Hillock transient (MNA netlist, scaled capacitors)",
+        )
+    )
+
+
+def main() -> None:
+    supply_sensitivity_tables()
+    behavioural_time_to_spike_table()
+    transient_waveform_summary()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: train the Diehl&Cook SNN and attack its power supply.
+
+Runs the attack-free baseline and the black-box Attack 5 (global VDD fault at
+0.8 V) at a small scale, then prints both results.  Takes roughly a minute on
+a laptop.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.attacks import Attack5GlobalSupply
+from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.core.reporting import format_experiment_result
+
+
+def main() -> None:
+    # ``smoke`` keeps the example fast; switch to ExperimentConfig.benchmark()
+    # or .paper() for the figures reported in EXPERIMENTS.md.
+    config = ExperimentConfig.smoke()
+    pipeline = ClassificationPipeline(config)
+
+    print(f"Training the Diehl&Cook SNN ({config.scale_name} scale)...")
+    baseline = pipeline.run_baseline()
+    print(format_experiment_result(baseline))
+    print()
+
+    print("Re-training the same network under Attack 5 (VDD = 0.8 V)...")
+    attacked = pipeline.run(Attack5GlobalSupply(vdd=0.8))
+    print(format_experiment_result(attacked))
+    print()
+
+    degradation = attacked.relative_degradation or 0.0
+    print(
+        f"The shared-supply fault removed {degradation:.1%} of the baseline "
+        f"accuracy ({baseline.accuracy:.3f} -> {attacked.accuracy:.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of "Analysis of Power-Oriented Fault Injection Attacks on
+Spiking Neural Networks" (Nagarajan et al., DATE 2022).
+
+The library is organised in three tiers that mirror the paper:
+
+* **Circuit tier** -- :mod:`repro.analog` (MNA circuit simulator),
+  :mod:`repro.circuits` (netlists of every circuit in the paper) and
+  :mod:`repro.neurons` (fast behavioural models of the analog neurons,
+  calibrated against the circuit tier).
+* **Network tier** -- :mod:`repro.snn` (a NumPy spiking-neural-network
+  framework with the Diehl & Cook architecture) and :mod:`repro.datasets`
+  (a synthetic MNIST-like digit task).
+* **Attack tier** -- :mod:`repro.attacks` (the five power-oriented fault
+  injection attacks), :mod:`repro.defenses` (the proposed countermeasures)
+  and :mod:`repro.core` (the experiment pipeline that regenerates every
+  figure in the paper's evaluation).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analog",
+    "circuits",
+    "neurons",
+    "snn",
+    "datasets",
+    "attacks",
+    "defenses",
+    "core",
+    "utils",
+]

@@ -1,0 +1,74 @@
+"""A small, self-contained analog circuit simulator.
+
+The paper characterises its neuron circuits in HSPICE with PTM 65 nm models.
+This package provides the simulation substrate used by the reproduction:
+
+* :mod:`repro.analog.units` — SI unit suffix parsing and constants.
+* :mod:`repro.analog.devices` — linear devices (R, C, L, sources, switches).
+* :mod:`repro.analog.mosfet` — a level-1 (square-law) MOSFET model with
+  channel-length modulation and a smooth subthreshold tail, parameterised to
+  approximate a 65 nm low-power CMOS process.
+* :mod:`repro.analog.netlist` — circuit/netlist construction with named nodes
+  and hierarchical subcircuits.
+* :mod:`repro.analog.mna` — modified nodal analysis matrix assembly.
+* :mod:`repro.analog.dc` — Newton-Raphson DC operating point and DC sweeps.
+* :mod:`repro.analog.transient` — backward-Euler transient analysis.
+* :mod:`repro.analog.waveform` — waveform post-processing (spike detection,
+  threshold crossings, rise/fall times).
+* :mod:`repro.analog.sweep` — parameter sweep drivers used by the
+  sensitivity analyses (threshold vs VDD, driver amplitude vs VDD, ...).
+
+The solver is deliberately compact (dense matrices, fixed time step) — the
+circuits in the paper have at most a few tens of nodes — but it is a real
+circuit simulator: every figure-level sensitivity in the paper is produced by
+solving the nonlinear device equations, not by table lookup.
+"""
+
+from repro.analog.devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    PulseSource,
+    PiecewiseLinearSource,
+    Resistor,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+from repro.analog.mosfet import MOSFET, MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.analog.netlist import Circuit, SubCircuit
+from repro.analog.dc import OperatingPoint, dc_operating_point, dc_sweep
+from repro.analog.transient import TransientResult, transient_analysis
+from repro.analog.waveform import Waveform, detect_spikes, threshold_crossings
+from repro.analog.sweep import ParameterSweep, SweepResult
+from repro.analog.units import parse_value, si_format
+
+__all__ = [
+    "Capacitor",
+    "CurrentSource",
+    "Diode",
+    "Inductor",
+    "PulseSource",
+    "PiecewiseLinearSource",
+    "Resistor",
+    "VoltageControlledSwitch",
+    "VoltageSource",
+    "MOSFET",
+    "MOSFETParameters",
+    "NMOS_65NM",
+    "PMOS_65NM",
+    "Circuit",
+    "SubCircuit",
+    "OperatingPoint",
+    "dc_operating_point",
+    "dc_sweep",
+    "TransientResult",
+    "transient_analysis",
+    "Waveform",
+    "detect_spikes",
+    "threshold_crossings",
+    "ParameterSweep",
+    "SweepResult",
+    "parse_value",
+    "si_format",
+]

@@ -1,0 +1,132 @@
+"""DC operating-point analysis and DC sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.devices import CurrentSource, VoltageSource
+from repro.analog.mna import MNASystem, SolverOptions, StampState, newton_solve
+from repro.analog.netlist import Circuit
+
+
+@dataclass
+class OperatingPoint:
+    """The converged DC solution of a circuit."""
+
+    circuit_name: str
+    node_voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` (0.0 for ground)."""
+        if node in self.node_voltages:
+            return self.node_voltages[node]
+        return 0.0
+
+    def current(self, source_name: str) -> float:
+        """Branch current through a voltage source or inductor."""
+        return self.branch_currents[source_name]
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltage(node)
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    *,
+    initial_guess: Optional[Dict[str, float]] = None,
+    options: Optional[SolverOptions] = None,
+) -> OperatingPoint:
+    """Compute the DC operating point of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    initial_guess:
+        Optional starting node voltages (helps convergence of bistable
+        circuits such as latches and the Axon-Hillock feedback loop).
+    options:
+        Solver options.
+    """
+    system = MNASystem(circuit)
+    guess = np.zeros(system.size)
+    if initial_guess:
+        for node, value in initial_guess.items():
+            idx = system.index_of(node)
+            if idx >= 0:
+                guess[idx] = value
+    state = StampState(system=system, analysis="dc", time=0.0)
+    solution = newton_solve(system, state, guess, options)
+    return _solution_to_op(system, solution)
+
+
+def _solution_to_op(system: MNASystem, solution: np.ndarray) -> OperatingPoint:
+    branch_currents = {}
+    for device in system.circuit.devices:
+        if device.n_branches:
+            branch_currents[device.name] = system.branch_current_of(solution, device)
+    return OperatingPoint(
+        circuit_name=system.circuit.name,
+        node_voltages=system.solution_as_dict(solution),
+        branch_currents=branch_currents,
+    )
+
+
+@dataclass
+class DCSweepResult:
+    """Result of sweeping one independent source through a list of values."""
+
+    source_name: str
+    values: np.ndarray
+    operating_points: List[OperatingPoint]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Array of node voltages across the sweep."""
+        return np.array([op.voltage(node) for op in self.operating_points])
+
+    def current(self, source_name: str) -> np.ndarray:
+        """Array of branch currents across the sweep."""
+        return np.array([op.current(source_name) for op in self.operating_points])
+
+    def __len__(self) -> int:
+        return len(self.operating_points)
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    *,
+    options: Optional[SolverOptions] = None,
+) -> DCSweepResult:
+    """Sweep an independent source and record the operating point at each value.
+
+    The previous solution is used as the initial guess for the next point
+    (continuation), which keeps Newton-Raphson on the same branch of
+    multistable circuits and dramatically speeds up convergence.
+    """
+    device = circuit[source_name]
+    if not isinstance(device, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{source_name!r} is not an independent source")
+    original_value = device.value
+    system = MNASystem(circuit)
+    state = StampState(system=system, analysis="dc", time=0.0)
+    guess = np.zeros(system.size)
+    ops: List[OperatingPoint] = []
+    try:
+        for value in values:
+            device.value = float(value)
+            solution = newton_solve(system, state, guess, options)
+            guess = solution
+            ops.append(_solution_to_op(system, solution))
+    finally:
+        device.value = original_value
+    return DCSweepResult(
+        source_name=source_name,
+        values=np.asarray(values, dtype=float),
+        operating_points=ops,
+    )

@@ -1,0 +1,290 @@
+"""Modified nodal analysis (MNA) assembly and the Newton-Raphson engine.
+
+The unknown vector is ``x = [node voltages..., branch currents...]`` where
+branch currents exist for voltage sources and inductors.  Nonlinear devices
+(MOSFETs, diodes, switches) are linearised around the present guess and the
+system is iterated to convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analog.devices import Device
+from repro.analog.netlist import Circuit, is_ground
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton-Raphson fails to converge."""
+
+
+@dataclass
+class SolverOptions:
+    """Tunable knobs of the nonlinear solver."""
+
+    max_iterations: int = 150
+    #: Absolute node-voltage convergence tolerance (volts).
+    voltage_tolerance: float = 1e-6
+    #: Relative convergence tolerance.
+    relative_tolerance: float = 1e-6
+    #: Maximum per-iteration change applied to any node voltage (damping).
+    max_voltage_step: float = 0.3
+    #: Diagonal conductance added to every node row for conditioning.
+    gmin: float = 1e-12
+    #: Sequence of gmin values tried when the plain solve does not converge.
+    gmin_stepping: tuple = (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12)
+
+
+class MNASystem:
+    """Index bookkeeping and matrix assembly for one circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.node_names = circuit.nodes()
+        self.node_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        self.n_nodes = len(self.node_names)
+        self.branch_owner: Dict[str, int] = {}
+        branch = 0
+        for device in circuit.devices:
+            if device.n_branches:
+                self.branch_owner[device.name] = branch
+                branch += device.n_branches
+        self.n_branches = branch
+        self.size = self.n_nodes + self.n_branches
+        if self.size == 0:
+            raise ValueError(f"circuit {circuit.name!r} has no unknowns to solve for")
+
+    # ------------------------------------------------------------------ lookup
+    def index_of(self, node: str) -> int:
+        """Matrix index of a node (-1 for ground)."""
+        if is_ground(node):
+            return -1
+        return self.node_index[node]
+
+    def branch_index_of(self, device: Device) -> int:
+        """Matrix index of a device's branch current."""
+        return self.n_nodes + self.branch_owner[device.name]
+
+    def voltage_of(self, solution: np.ndarray, node: str) -> float:
+        """Voltage of ``node`` in a solution vector (0.0 for ground)."""
+        idx = self.index_of(node)
+        return 0.0 if idx < 0 else float(solution[idx])
+
+    def branch_current_of(self, solution: np.ndarray, device: Device) -> float:
+        """Branch current of ``device`` in a solution vector."""
+        return float(solution[self.branch_index_of(device)])
+
+    def solution_as_dict(self, solution: np.ndarray) -> Dict[str, float]:
+        """Node-voltage mapping for a solution vector."""
+        return {name: float(solution[i]) for name, i in self.node_index.items()}
+
+    # ---------------------------------------------------------------- assembly
+    def assemble(self, state: "StampState", options: SolverOptions) -> tuple:
+        """Assemble the (linearised) MNA matrix and right-hand side."""
+        stamper = Stamper(self)
+        for device in self.circuit.devices:
+            device.stamp(stamper, state)
+        matrix, rhs = stamper.matrix, stamper.rhs
+        # Conditioning gmin on node rows only.
+        for i in range(self.n_nodes):
+            matrix[i, i] += state.gmin if state.gmin else options.gmin
+        return matrix, rhs
+
+
+@dataclass
+class StampState:
+    """Context passed to every device while stamping.
+
+    Attributes
+    ----------
+    system:
+        The owning :class:`MNASystem` (used to resolve node names).
+    analysis:
+        ``"dc"`` or ``"transient"``.
+    time:
+        Simulation time of the step being solved (seconds).
+    dt:
+        Time step (seconds); meaningless for DC.
+    guess:
+        Present Newton iterate (node voltages + branch currents).
+    previous:
+        Converged solution of the previous time point (transient only).
+    gmin:
+        Optional override of the conditioning conductance (gmin stepping).
+    """
+
+    system: MNASystem
+    analysis: str = "dc"
+    time: float = 0.0
+    dt: float = 1e-9
+    guess: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    previous: Optional[np.ndarray] = None
+    gmin: float = 0.0
+
+    def guess_voltage(self, node: str) -> float:
+        """Node voltage in the present Newton iterate."""
+        idx = self.system.index_of(node)
+        if idx < 0 or idx >= len(self.guess):
+            return 0.0
+        return float(self.guess[idx])
+
+    def previous_voltage(self, node: str) -> float:
+        """Node voltage at the previous time point (0.0 if unavailable)."""
+        if self.previous is None:
+            return 0.0
+        idx = self.system.index_of(node)
+        if idx < 0 or idx >= len(self.previous):
+            return 0.0
+        return float(self.previous[idx])
+
+    def previous_branch_current(self, device: Device) -> float:
+        """Branch current at the previous time point (0.0 if unavailable)."""
+        if self.previous is None:
+            return 0.0
+        return float(self.previous[self.system.branch_index_of(device)])
+
+
+class Stamper:
+    """Accumulates device stamps into the dense MNA matrix."""
+
+    def __init__(self, system: MNASystem) -> None:
+        self.system = system
+        self.matrix = np.zeros((system.size, system.size))
+        self.rhs = np.zeros(system.size)
+
+    # ---------------------------------------------------------------- resolves
+    def _idx(self, node: str) -> int:
+        return self.system.index_of(node)
+
+    def branch_index(self, device: Device) -> int:
+        """Matrix index of a device's branch-current unknown."""
+        return self.system.branch_index_of(device)
+
+    # ------------------------------------------------------------------ stamps
+    def add_matrix(self, row_node: str, col_node: str, value: float) -> None:
+        """Add ``value`` at (row, col) addressed by node names (ground skipped)."""
+        i, j = self._idx(row_node), self._idx(col_node)
+        if i >= 0 and j >= 0:
+            self.matrix[i, j] += value
+
+    def add_matrix_branch(self, row: int, col: int, value: float) -> None:
+        """Add ``value`` at explicit matrix indices (used for branch rows)."""
+        self.matrix[row, col] += value
+
+    def add_rhs_branch(self, row: int, value: float) -> None:
+        """Add ``value`` to the right-hand side at an explicit index."""
+        self.rhs[row] += value
+
+    def stamp_conductance(self, node_a: str, node_b: str, conductance: float) -> None:
+        """Stamp a two-terminal conductance between ``node_a`` and ``node_b``."""
+        a, b = self._idx(node_a), self._idx(node_b)
+        if a >= 0:
+            self.matrix[a, a] += conductance
+        if b >= 0:
+            self.matrix[b, b] += conductance
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= conductance
+            self.matrix[b, a] -= conductance
+
+    def stamp_transconductance(
+        self, out_a: str, out_b: str, ctrl_pos: str, ctrl_neg: str, gm: float
+    ) -> None:
+        """Stamp a current ``gm * (v_ctrl_pos - v_ctrl_neg)`` from ``out_a`` to ``out_b``."""
+        a, b = self._idx(out_a), self._idx(out_b)
+        cp, cn = self._idx(ctrl_pos), self._idx(ctrl_neg)
+        for out_idx, sign in ((a, 1.0), (b, -1.0)):
+            if out_idx < 0:
+                continue
+            if cp >= 0:
+                self.matrix[out_idx, cp] += sign * gm
+            if cn >= 0:
+                self.matrix[out_idx, cn] -= sign * gm
+
+    def stamp_current_injection(self, node: str, value: float) -> None:
+        """Inject ``value`` amperes into ``node`` (adds to the RHS)."""
+        idx = self._idx(node)
+        if idx >= 0:
+            self.rhs[idx] += value
+
+    def stamp_branch_voltage(self, node_pos: str, node_neg: str, branch: int) -> None:
+        """Stamp the incidence entries of a branch defined by a voltage constraint."""
+        pos, neg = self._idx(node_pos), self._idx(node_neg)
+        if pos >= 0:
+            self.matrix[pos, branch] += 1.0
+            self.matrix[branch, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, branch] -= 1.0
+            self.matrix[branch, neg] -= 1.0
+
+
+def newton_solve(
+    system: MNASystem,
+    state: StampState,
+    initial_guess: Optional[np.ndarray] = None,
+    options: Optional[SolverOptions] = None,
+) -> np.ndarray:
+    """Solve the (possibly nonlinear) MNA system by damped Newton-Raphson.
+
+    Falls back to gmin stepping if the plain iteration does not converge.
+    """
+    options = options or SolverOptions()
+    guess = (
+        np.zeros(system.size) if initial_guess is None else np.array(initial_guess, dtype=float)
+    )
+    try:
+        return _newton_iterate(system, state, guess, options, gmin=0.0)
+    except (ConvergenceError, np.linalg.LinAlgError):
+        pass
+    # gmin stepping: solve with a heavily damped system first, then relax.
+    solution = guess
+    for gmin in options.gmin_stepping:
+        solution = _newton_iterate(system, state, solution, options, gmin=gmin)
+    return solution
+
+
+def _newton_iterate(
+    system: MNASystem,
+    state: StampState,
+    guess: np.ndarray,
+    options: SolverOptions,
+    *,
+    gmin: float,
+) -> np.ndarray:
+    nonlinear = any(device.is_nonlinear for device in system.circuit.devices)
+    x = guess.copy()
+    state.gmin = gmin
+    for iteration in range(options.max_iterations):
+        state.guess = x
+        matrix, rhs = system.assemble(state, options)
+        try:
+            x_new = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            x_new = np.linalg.lstsq(matrix, rhs, rcond=None)[0]
+        if not nonlinear:
+            return x_new
+        delta = x_new - x
+        node_delta = delta[: system.n_nodes]
+        # Progressive damping: if the iteration has not settled after a third
+        # of the budget (typically a regenerative feedback loop bouncing
+        # between two states), shrink the accepted step to force convergence.
+        step_limit = options.max_voltage_step
+        if iteration >= options.max_iterations // 3:
+            step_limit *= 0.25
+        elif iteration >= options.max_iterations // 6:
+            step_limit *= 0.5
+        if len(node_delta):
+            np.clip(node_delta, -step_limit, step_limit, out=node_delta)
+        x = x + delta
+        max_delta = float(np.max(np.abs(node_delta))) if len(node_delta) else 0.0
+        scale = float(np.max(np.abs(x[: system.n_nodes]))) if system.n_nodes else 1.0
+        if max_delta <= options.voltage_tolerance + options.relative_tolerance * max(scale, 1.0):
+            return x
+    raise ConvergenceError(
+        f"Newton-Raphson failed to converge for circuit {system.circuit.name!r} "
+        f"(analysis={state.analysis}, t={state.time:g}s, gmin={gmin:g})"
+    )

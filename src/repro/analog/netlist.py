@@ -1,0 +1,273 @@
+"""Circuit (netlist) construction.
+
+A :class:`Circuit` is an ordered collection of devices connected by named
+nodes.  Node ``"0"`` (aliases ``"gnd"``, ``"GND"``, ``"vss"``) is the global
+ground reference.  Hierarchy is supported through :class:`SubCircuit`, which
+is a reusable template instantiated into a parent circuit with a per-instance
+prefix for its internal nodes and devices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+from repro.analog.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Diode,
+    Inductor,
+    Resistor,
+    SourceValue,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+from repro.analog.mosfet import MOSFET, MOSFETParameters
+from repro.analog.units import ValueLike
+
+#: Node names treated as the ground reference.
+GROUND_ALIASES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+def is_ground(node: str) -> bool:
+    """Whether ``node`` names the ground reference."""
+    return node in GROUND_ALIASES
+
+
+class Circuit:
+    """A flat collection of devices connected by named nodes.
+
+    The class offers both a generic :meth:`add` and typed convenience
+    constructors (:meth:`add_resistor`, :meth:`add_mosfet`, ...) that build
+    the device and register it in one call.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._devices: List[Device] = []
+        self._device_index: Dict[str, Device] = {}
+
+    # -------------------------------------------------------------- containers
+    @property
+    def devices(self) -> Sequence[Device]:
+        """All devices in insertion order."""
+        return tuple(self._devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self._devices)
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._device_index
+
+    def __getitem__(self, name: str) -> Device:
+        try:
+            return self._device_index[name]
+        except KeyError:
+            raise KeyError(f"no device named {name!r} in circuit {self.name!r}") from None
+
+    def nodes(self) -> List[str]:
+        """All non-ground node names, in first-use order."""
+        seen: Dict[str, None] = {}
+        for device in self._devices:
+            for node in device.nodes:
+                if not is_ground(node) and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    # ------------------------------------------------------------ registration
+    def add(self, device: Device) -> Device:
+        """Register an already constructed device."""
+        if device.name in self._device_index:
+            raise ValueError(
+                f"duplicate device name {device.name!r} in circuit {self.name!r}"
+            )
+        self._devices.append(device)
+        self._device_index[device.name] = device
+        return device
+
+    def remove(self, name: str) -> Device:
+        """Remove and return the device called ``name``."""
+        device = self[name]
+        self._devices.remove(device)
+        del self._device_index[name]
+        return device
+
+    def replace(self, device: Device) -> Device:
+        """Replace the device with the same name (must already exist)."""
+        self.remove(device.name)
+        return self.add(device)
+
+    # ------------------------------------------------------- typed convenience
+    def add_resistor(self, name: str, a: str, b: str, resistance: ValueLike) -> Resistor:
+        """Add a resistor between nodes ``a`` and ``b``."""
+        return self.add(Resistor(name, a, b, resistance))
+
+    def add_capacitor(
+        self, name: str, a: str, b: str, capacitance: ValueLike, **kwargs
+    ) -> Capacitor:
+        """Add a capacitor between nodes ``a`` and ``b``."""
+        return self.add(Capacitor(name, a, b, capacitance, **kwargs))
+
+    def add_inductor(self, name: str, a: str, b: str, inductance: ValueLike) -> Inductor:
+        """Add an inductor between nodes ``a`` and ``b``."""
+        return self.add(Inductor(name, a, b, inductance))
+
+    def add_voltage_source(
+        self, name: str, pos: str, neg: str, value: SourceValue
+    ) -> VoltageSource:
+        """Add an independent voltage source."""
+        return self.add(VoltageSource(name, pos, neg, value))
+
+    def add_current_source(
+        self, name: str, pos: str, neg: str, value: SourceValue
+    ) -> CurrentSource:
+        """Add an independent current source (current flows pos -> neg)."""
+        return self.add(CurrentSource(name, pos, neg, value))
+
+    def add_diode(self, name: str, anode: str, cathode: str, **kwargs) -> Diode:
+        """Add a junction diode."""
+        return self.add(Diode(name, anode, cathode, **kwargs))
+
+    def add_switch(
+        self, name: str, a: str, b: str, ctrl_pos: str, ctrl_neg: str, **kwargs
+    ) -> VoltageControlledSwitch:
+        """Add a voltage-controlled switch."""
+        return self.add(VoltageControlledSwitch(name, a, b, ctrl_pos, ctrl_neg, **kwargs))
+
+    def add_mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        parameters: MOSFETParameters,
+        *,
+        width: ValueLike = 1e-6,
+        length: ValueLike = 65e-9,
+    ) -> MOSFET:
+        """Add a MOSFET (drain, gate, source; body tied to source)."""
+        return self.add(
+            MOSFET(name, drain, gate, source, parameters, width=width, length=length)
+        )
+
+    # --------------------------------------------------------------- hierarchy
+    def instantiate(
+        self,
+        subcircuit: "SubCircuit",
+        instance_name: str,
+        port_map: Dict[str, str],
+    ) -> List[Device]:
+        """Instantiate ``subcircuit`` into this circuit.
+
+        ``port_map`` maps the subcircuit's port names to parent node names.
+        Internal nodes and device names are prefixed with ``instance_name.``.
+        Returns the list of devices added.
+        """
+        return subcircuit.instantiate_into(self, instance_name, port_map)
+
+    # ----------------------------------------------------------------- utility
+    def source_names(self) -> List[str]:
+        """Names of all independent sources (voltage and current)."""
+        return [
+            d.name
+            for d in self._devices
+            if isinstance(d, (VoltageSource, CurrentSource))
+        ]
+
+    def set_source_value(self, name: str, value: SourceValue) -> None:
+        """Change the value/waveform of an independent source."""
+        device = self[name]
+        if not isinstance(device, (VoltageSource, CurrentSource)):
+            raise TypeError(f"device {name!r} is not an independent source")
+        device.value = value
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (devices are shared; the container is new)."""
+        clone = Circuit(self.name)
+        for device in self._devices:
+            clone.add(device)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit({self.name!r}, devices={len(self._devices)})"
+
+
+class SubCircuit:
+    """A reusable circuit template with named ports.
+
+    A subcircuit is defined by a builder function that populates a circuit
+    using the *port* node names plus any internal nodes it likes.  When the
+    subcircuit is instantiated, ports are renamed to the parent's nodes and
+    everything else is prefixed with the instance name.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ports: Sequence[str],
+        builder: Callable[[Circuit], None],
+    ) -> None:
+        self.name = name
+        self.ports = tuple(ports)
+        self.builder = builder
+
+    def build_flat(self) -> Circuit:
+        """Build a standalone circuit using the raw port node names."""
+        circuit = Circuit(self.name)
+        self.builder(circuit)
+        return circuit
+
+    def instantiate_into(
+        self,
+        parent: Circuit,
+        instance_name: str,
+        port_map: Dict[str, str],
+    ) -> List[Device]:
+        """Add this subcircuit's devices to ``parent`` with renamed nodes."""
+        missing = set(self.ports) - set(port_map)
+        if missing:
+            raise ValueError(
+                f"missing port mappings for {sorted(missing)} when instantiating "
+                f"{self.name!r}"
+            )
+        template = self.build_flat()
+
+        def map_node(node: str) -> str:
+            if node in port_map:
+                return port_map[node]
+            if is_ground(node):
+                return node
+            return f"{instance_name}.{node}"
+
+        added: List[Device] = []
+        for device in template.devices:
+            renamed = _rename_device(device, f"{instance_name}.{device.name}", map_node)
+            parent.add(renamed)
+            added.append(renamed)
+        return added
+
+
+def _rename_device(device: Device, new_name: str, map_node: Callable[[str], str]) -> Device:
+    """Create a copy of ``device`` with a new name and remapped nodes.
+
+    Devices are lightweight dataclass-like objects; we duplicate them via
+    ``__class__.__new__`` plus ``__dict__`` copy and then patch name/nodes,
+    which avoids having to re-run validation on already validated values.
+    """
+    clone = device.__class__.__new__(device.__class__)
+    clone.__dict__.update(device.__dict__)
+    clone.name = new_name
+    clone.nodes = tuple(map_node(node) for node in device.nodes)
+    return clone
+
+
+def merge_circuits(name: str, circuits: Iterable[Circuit]) -> Circuit:
+    """Merge several circuits that share node names into one flat circuit."""
+    merged = Circuit(name)
+    for circuit in circuits:
+        for device in circuit.devices:
+            merged.add(device)
+    return merged

@@ -1,0 +1,106 @@
+"""Generic parameter-sweep drivers.
+
+The attack analysis repeatedly answers questions of the form "how does metric
+M change as parameter P is swept" (inverter threshold vs VDD, driver output
+amplitude vs VDD, time-to-spike vs input amplitude, ...).
+:class:`ParameterSweep` factors that loop out of the individual analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SweepResult:
+    """The outcome of a parameter sweep.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the swept parameter.
+    values:
+        The swept parameter values.
+    metrics:
+        Mapping from metric name to the per-value metric array.
+    """
+
+    parameter_name: str
+    values: np.ndarray
+    metrics: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def metric(self, name: str) -> np.ndarray:
+        """Metric array by name."""
+        return self.metrics[name]
+
+    def relative_change(self, name: str, *, reference_value: float) -> np.ndarray:
+        """Metric expressed as a fractional change from its value at
+        ``parameter == reference_value``."""
+        reference = self.metric_at(name, reference_value)
+        if reference == 0:
+            raise ZeroDivisionError(
+                f"metric {name!r} is zero at the reference point; cannot normalise"
+            )
+        return (self.metrics[name] - reference) / reference
+
+    def metric_at(self, name: str, parameter_value: float) -> float:
+        """Interpolated metric value at an arbitrary parameter value."""
+        return float(np.interp(parameter_value, self.values, self.metrics[name]))
+
+    def as_rows(self) -> List[tuple]:
+        """Rows of (parameter, metric1, metric2, ...) for table printing."""
+        names = list(self.metrics)
+        rows = []
+        for i, value in enumerate(self.values):
+            rows.append(tuple([float(value)] + [float(self.metrics[n][i]) for n in names]))
+        return rows
+
+    def header(self) -> List[str]:
+        """Column headers matching :meth:`as_rows`."""
+        return [self.parameter_name] + list(self.metrics)
+
+
+class ParameterSweep:
+    """Sweep a scalar parameter and evaluate one or more metrics at each value.
+
+    Parameters
+    ----------
+    parameter_name:
+        Label of the swept parameter (used in reports).
+    values:
+        The parameter values to evaluate.
+    evaluate:
+        Callable mapping a parameter value to a dict of metric values.
+    """
+
+    def __init__(
+        self,
+        parameter_name: str,
+        values: Sequence[float],
+        evaluate: Callable[[float], Dict[str, float]],
+    ) -> None:
+        if len(values) == 0:
+            raise ValueError("a sweep needs at least one parameter value")
+        self.parameter_name = parameter_name
+        self.values = np.asarray(values, dtype=float)
+        self.evaluate = evaluate
+
+    def run(self) -> SweepResult:
+        """Execute the sweep."""
+        per_value: List[Dict[str, float]] = [self.evaluate(float(v)) for v in self.values]
+        metric_names = list(per_value[0])
+        for result in per_value[1:]:
+            if list(result) != metric_names:
+                raise ValueError(
+                    "evaluate() must return the same metric names for every value"
+                )
+        metrics = {
+            name: np.array([result[name] for result in per_value], dtype=float)
+            for name in metric_names
+        }
+        return SweepResult(
+            parameter_name=self.parameter_name, values=self.values, metrics=metrics
+        )

@@ -1,0 +1,193 @@
+"""Backward-Euler transient analysis.
+
+The transient engine advances the circuit with a fixed time step, solving the
+nonlinear system at each step with the previous solution as the Newton
+starting point.  Backward Euler is unconditionally stable, which matters for
+the stiff positive-feedback loop inside the Axon-Hillock neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.devices import Capacitor
+from repro.analog.mna import (
+    ConvergenceError,
+    MNASystem,
+    SolverOptions,
+    StampState,
+    newton_solve,
+)
+from repro.analog.netlist import Circuit
+from repro.analog.units import ValueLike, parse_value
+from repro.analog.waveform import Waveform
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TransientResult:
+    """Time-domain solution of a circuit.
+
+    Node voltages (and voltage-source branch currents) are stored for every
+    time point.  Use :meth:`voltage` / :meth:`waveform` to extract traces.
+    """
+
+    circuit_name: str
+    time: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage trace of ``node`` (zeros for ground)."""
+        if node in self.node_voltages:
+            return self.node_voltages[node]
+        return np.zeros_like(self.time)
+
+    def current(self, device_name: str) -> np.ndarray:
+        """Branch-current trace of a voltage source or inductor."""
+        return self.branch_currents[device_name]
+
+    def waveform(self, node: str) -> Waveform:
+        """The voltage trace of ``node`` wrapped as a :class:`Waveform`."""
+        return Waveform(self.time, self.voltage(node), name=node)
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the last time point."""
+        return {node: float(trace[-1]) for node, trace in self.node_voltages.items()}
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+
+def transient_analysis(
+    circuit: Circuit,
+    *,
+    stop_time: ValueLike,
+    time_step: ValueLike,
+    initial_voltages: Optional[Dict[str, float]] = None,
+    use_initial_conditions: bool = False,
+    record_nodes: Optional[Sequence[str]] = None,
+    options: Optional[SolverOptions] = None,
+) -> TransientResult:
+    """Run a fixed-step backward-Euler transient simulation.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.
+    stop_time, time_step:
+        Simulation length and step (SPICE-style strings accepted,
+        e.g. ``"2u"``, ``"1n"``).
+    initial_voltages:
+        Optional starting node voltages.  When ``use_initial_conditions`` is
+        False these only seed the DC operating-point solve.
+    use_initial_conditions:
+        If True, skip the initial DC solve and start directly from
+        ``initial_voltages`` (unspecified nodes start at 0 V) plus any
+        capacitor ``initial_voltage`` attributes.
+    record_nodes:
+        Restrict recording to these nodes (all nodes by default).
+    """
+    stop_time = check_positive(parse_value(stop_time), "stop_time")
+    time_step = check_positive(parse_value(time_step), "time_step")
+    if time_step > stop_time:
+        raise ValueError("time_step must not exceed stop_time")
+
+    system = MNASystem(circuit)
+    options = options or SolverOptions()
+
+    initial = np.zeros(system.size)
+    if use_initial_conditions:
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = system.index_of(node)
+                if idx >= 0:
+                    initial[idx] = value
+        for device in circuit.devices:
+            if isinstance(device, Capacitor) and device.initial_voltage is not None:
+                a, b = device.nodes
+                idx_a, idx_b = system.index_of(a), system.index_of(b)
+                if idx_a >= 0 and idx_b < 0:
+                    initial[idx_a] = device.initial_voltage
+    else:
+        guess = np.zeros(system.size)
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = system.index_of(node)
+                if idx >= 0:
+                    guess[idx] = value
+        dc_state = StampState(system=system, analysis="dc", time=0.0)
+        initial = newton_solve(system, dc_state, guess, options)
+
+    n_steps = int(round(stop_time / time_step))
+    times = np.linspace(0.0, n_steps * time_step, n_steps + 1)
+
+    recorded = list(record_nodes) if record_nodes is not None else system.node_names
+    traces: Dict[str, List[float]] = {node: [] for node in recorded}
+    branch_devices = [d for d in circuit.devices if d.n_branches]
+    branch_traces: Dict[str, List[float]] = {d.name: [] for d in branch_devices}
+
+    def record(solution: np.ndarray) -> None:
+        for node in recorded:
+            traces[node].append(system.voltage_of(solution, node))
+        for device in branch_devices:
+            branch_traces[device.name].append(system.branch_current_of(solution, device))
+
+    solution = initial
+    record(solution)
+    for step in range(1, n_steps + 1):
+        solution = _advance(
+            system, solution, times[step - 1], times[step], options, depth=0
+        )
+        record(solution)
+
+    return TransientResult(
+        circuit_name=circuit.name,
+        time=times,
+        node_voltages={node: np.asarray(v) for node, v in traces.items()},
+        branch_currents={name: np.asarray(v) for name, v in branch_traces.items()},
+    )
+
+
+#: Maximum number of recursive step subdivisions attempted on a convergence
+#: failure (each level splits the interval into :data:`_SUBDIVISION_FACTOR`).
+_MAX_SUBDIVISION_DEPTH = 4
+_SUBDIVISION_FACTOR = 4
+
+
+def _advance(
+    system: MNASystem,
+    solution: np.ndarray,
+    t_start: float,
+    t_stop: float,
+    options: SolverOptions,
+    *,
+    depth: int,
+) -> np.ndarray:
+    """Advance the circuit from ``t_start`` to ``t_stop`` in one step.
+
+    If Newton-Raphson fails (typically during a regenerative transition such
+    as the Axon-Hillock firing edge), the interval is subdivided recursively
+    with a smaller local time step.
+    """
+    state = StampState(
+        system=system,
+        analysis="transient",
+        time=t_stop,
+        dt=t_stop - t_start,
+        previous=solution,
+    )
+    try:
+        return newton_solve(system, state, solution, options)
+    except ConvergenceError:
+        if depth >= _MAX_SUBDIVISION_DEPTH:
+            raise
+    sub_times = np.linspace(t_start, t_stop, _SUBDIVISION_FACTOR + 1)
+    for sub_start, sub_stop in zip(sub_times[:-1], sub_times[1:]):
+        solution = _advance(
+            system, solution, float(sub_start), float(sub_stop), options, depth=depth + 1
+        )
+    return solution

@@ -1,0 +1,183 @@
+"""Waveform post-processing.
+
+The figure-level analyses in the paper are all statements about waveforms:
+when does the membrane voltage cross the threshold, how often does the output
+spike, how does the time-to-first-spike move when the supply voltage changes.
+:class:`Waveform` wraps a (time, value) trace with those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Waveform:
+    """A sampled time-domain trace."""
+
+    time: np.ndarray
+    values: np.ndarray
+    name: str = "waveform"
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.time.shape != self.values.shape:
+            raise ValueError(
+                f"time and values must have the same shape, got {self.time.shape} "
+                f"and {self.values.shape}"
+            )
+        if self.time.ndim != 1:
+            raise ValueError("waveforms must be one-dimensional")
+        if len(self.time) >= 2 and np.any(np.diff(self.time) <= 0):
+            raise ValueError("waveform time axis must be strictly increasing")
+
+    # --------------------------------------------------------------- summaries
+    def __len__(self) -> int:
+        return len(self.time)
+
+    @property
+    def duration(self) -> float:
+        """Total trace duration in seconds."""
+        if len(self.time) < 2:
+            return 0.0
+        return float(self.time[-1] - self.time[0])
+
+    def maximum(self) -> float:
+        """Maximum sample value."""
+        return float(np.max(self.values))
+
+    def minimum(self) -> float:
+        """Minimum sample value."""
+        return float(np.min(self.values))
+
+    def peak_to_peak(self) -> float:
+        """Max minus min."""
+        return self.maximum() - self.minimum()
+
+    def mean(self) -> float:
+        """Time-weighted mean value (trapezoidal)."""
+        if len(self.time) < 2:
+            return float(self.values[0]) if len(self.values) else 0.0
+        return float(np.trapezoid(self.values, self.time) / self.duration)
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time``."""
+        return float(np.interp(time, self.time, self.values))
+
+    def slice(self, start: float, stop: float) -> "Waveform":
+        """Return the sub-waveform with ``start <= t <= stop``."""
+        mask = (self.time >= start) & (self.time <= stop)
+        return Waveform(self.time[mask], self.values[mask], name=self.name)
+
+    # --------------------------------------------------------------- crossings
+    def threshold_crossings(
+        self, level: float, *, direction: str = "rising"
+    ) -> np.ndarray:
+        """Interpolated times at which the trace crosses ``level``.
+
+        ``direction`` is ``"rising"``, ``"falling"`` or ``"both"``.
+        """
+        return threshold_crossings(self.time, self.values, level, direction=direction)
+
+    def time_to_first_crossing(
+        self, level: float, *, direction: str = "rising"
+    ) -> Optional[float]:
+        """Time of the first crossing of ``level`` (None if it never crosses)."""
+        crossings = self.threshold_crossings(level, direction=direction)
+        if len(crossings) == 0:
+            return None
+        return float(crossings[0])
+
+    # ------------------------------------------------------------------ spikes
+    def detect_spikes(
+        self, threshold: float, *, min_separation: float = 0.0
+    ) -> np.ndarray:
+        """Times of rising threshold crossings, merged within ``min_separation``."""
+        return detect_spikes(
+            self.time, self.values, threshold, min_separation=min_separation
+        )
+
+    def spike_count(self, threshold: float, *, min_separation: float = 0.0) -> int:
+        """Number of detected spikes."""
+        return int(len(self.detect_spikes(threshold, min_separation=min_separation)))
+
+    def spike_rate(self, threshold: float, *, min_separation: float = 0.0) -> float:
+        """Average spike rate (spikes per second) over the trace duration."""
+        if self.duration <= 0:
+            return 0.0
+        return self.spike_count(threshold, min_separation=min_separation) / self.duration
+
+    def inter_spike_intervals(
+        self, threshold: float, *, min_separation: float = 0.0
+    ) -> np.ndarray:
+        """Differences between consecutive spike times."""
+        spikes = self.detect_spikes(threshold, min_separation=min_separation)
+        return np.diff(spikes)
+
+    # ------------------------------------------------------------- edge timing
+    def rise_time(self, low_frac: float = 0.1, high_frac: float = 0.9) -> Optional[float]:
+        """10 %-90 % (by default) rise time of the first full swing."""
+        low = self.minimum() + low_frac * self.peak_to_peak()
+        high = self.minimum() + high_frac * self.peak_to_peak()
+        t_low = self.time_to_first_crossing(low, direction="rising")
+        t_high = self.time_to_first_crossing(high, direction="rising")
+        if t_low is None or t_high is None or t_high < t_low:
+            return None
+        return t_high - t_low
+
+
+def threshold_crossings(
+    time: Sequence[float],
+    values: Sequence[float],
+    level: float,
+    *,
+    direction: str = "rising",
+) -> np.ndarray:
+    """Interpolated times at which ``values`` crosses ``level``."""
+    if direction not in ("rising", "falling", "both"):
+        raise ValueError("direction must be 'rising', 'falling' or 'both'")
+    time = np.asarray(time, dtype=float)
+    values = np.asarray(values, dtype=float)
+    above = values >= level
+    changes = np.diff(above.astype(int))
+    crossings: List[float] = []
+    for idx in np.nonzero(changes != 0)[0]:
+        rising = changes[idx] > 0
+        if direction == "rising" and not rising:
+            continue
+        if direction == "falling" and rising:
+            continue
+        v0, v1 = values[idx], values[idx + 1]
+        t0, t1 = time[idx], time[idx + 1]
+        if v1 == v0:
+            crossings.append(float(t1))
+        else:
+            frac = (level - v0) / (v1 - v0)
+            crossings.append(float(t0 + frac * (t1 - t0)))
+    return np.asarray(crossings)
+
+
+def detect_spikes(
+    time: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    *,
+    min_separation: float = 0.0,
+) -> np.ndarray:
+    """Spike times defined as rising crossings of ``threshold``.
+
+    Crossings closer together than ``min_separation`` are merged into one
+    spike (keeps noisy re-crossings of the threshold from double counting).
+    """
+    raw = threshold_crossings(time, values, threshold, direction="rising")
+    if min_separation <= 0 or len(raw) == 0:
+        return raw
+    kept = [raw[0]]
+    for t in raw[1:]:
+        if t - kept[-1] >= min_separation:
+            kept.append(t)
+    return np.asarray(kept)

@@ -1,0 +1,51 @@
+"""Power-oriented fault-injection attacks on the Diehl&Cook SNN.
+
+The package translates circuit-level supply-voltage corruption into
+network-level parameter corruption and packages the paper's five attacks:
+
+* :mod:`repro.attacks.threat` — the threat model (power domains, adversary
+  capabilities, black-box vs white-box knowledge).
+* :mod:`repro.attacks.injector` — the fault injector that corrupts per-neuron
+  thresholds and input gains for a chosen fraction of a layer.
+* :mod:`repro.attacks.attacks` — Attack 1-5 as configurable objects.
+* :mod:`repro.attacks.campaign` — sweep drivers that regenerate the attack
+  figures (accuracy vs theta change, vs threshold change x fraction, vs VDD).
+"""
+
+from repro.attacks.threat import (
+    AdversaryAccess,
+    PowerDomain,
+    PowerDomainScheme,
+    ThreatModel,
+)
+from repro.attacks.injector import FaultInjector, FaultRecord, FaultSiteSelection
+from repro.attacks.attacks import (
+    Attack1InputSpikeCorruption,
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack4BothLayerThreshold,
+    Attack5GlobalSupply,
+    NoAttack,
+    PowerAttack,
+)
+from repro.attacks.campaign import AttackCampaign, AttackOutcome, AttackSweep
+
+__all__ = [
+    "AdversaryAccess",
+    "PowerDomain",
+    "PowerDomainScheme",
+    "ThreatModel",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSiteSelection",
+    "PowerAttack",
+    "NoAttack",
+    "Attack1InputSpikeCorruption",
+    "Attack2ExcitatoryThreshold",
+    "Attack3InhibitoryThreshold",
+    "Attack4BothLayerThreshold",
+    "Attack5GlobalSupply",
+    "AttackCampaign",
+    "AttackOutcome",
+    "AttackSweep",
+]

@@ -1,0 +1,194 @@
+"""Attack sweep drivers that regenerate the paper's attack figures.
+
+The campaign object wraps a classification pipeline (anything exposing
+``run(attack)`` and ``run_baseline()``) and sweeps attack parameters:
+
+* :meth:`AttackCampaign.sweep_attack1_theta` — Fig. 7b.
+* :meth:`AttackCampaign.sweep_layer_threshold` — Fig. 8a (excitatory) and
+  Fig. 8b (inhibitory).
+* :meth:`AttackCampaign.sweep_both_layers` — Fig. 8c.
+* :meth:`AttackCampaign.sweep_global_vdd` — Fig. 9a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.attacks import (
+    Attack1InputSpikeCorruption,
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack4BothLayerThreshold,
+    Attack5GlobalSupply,
+    PowerAttack,
+)
+from repro.attacks.injector import FaultSiteSelection
+from repro.core.results import AttackGridResult, ExperimentResult
+from repro.neurons.calibration import VddToParameterMap
+from repro.snn.models import EXCITATORY_LAYER, INHIBITORY_LAYER
+from repro.utils.validation import check_in_choices
+
+#: Default parameter grids, matching the paper's figures.
+DEFAULT_THRESHOLD_CHANGES = (-0.2, -0.1, 0.1, 0.2)
+DEFAULT_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_THETA_CHANGES = (-0.2, -0.1, 0.0, 0.1, 0.2)
+DEFAULT_VDD_VALUES = (0.8, 0.9, 1.0, 1.1, 1.2)
+
+
+@dataclass
+class AttackOutcome:
+    """One attack configuration together with its measured result."""
+
+    attack: PowerAttack
+    result: ExperimentResult
+
+    @property
+    def accuracy(self) -> float:
+        """Measured accuracy under this attack."""
+        return self.result.accuracy
+
+
+@dataclass
+class AttackSweep:
+    """A one-dimensional sweep (parameter value → outcome)."""
+
+    name: str
+    parameter: str
+    values: np.ndarray
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+    baseline_accuracy: float = 0.0
+
+    def accuracies(self) -> np.ndarray:
+        """Accuracy per swept value."""
+        return np.array([outcome.accuracy for outcome in self.outcomes])
+
+    def accuracy_changes(self) -> np.ndarray:
+        """Accuracy minus baseline per swept value."""
+        return self.accuracies() - self.baseline_accuracy
+
+    def worst_case(self) -> AttackOutcome:
+        """The most damaging configuration."""
+        return min(self.outcomes, key=lambda outcome: outcome.accuracy)
+
+
+class AttackCampaign:
+    """Runs families of attacks against one classification pipeline."""
+
+    def __init__(self, pipeline) -> None:
+        self.pipeline = pipeline
+
+    # --------------------------------------------------------------- baselines
+    @property
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the attack-free run."""
+        return self.pipeline.run_baseline().accuracy
+
+    # ------------------------------------------------------------ Fig. 7b
+    def sweep_attack1_theta(
+        self,
+        theta_changes: Sequence[float] = DEFAULT_THETA_CHANGES,
+    ) -> AttackSweep:
+        """Attack 1: accuracy vs per-spike membrane-charge (theta) change."""
+        sweep = AttackSweep(
+            name="attack1_theta_sweep",
+            parameter="theta_change",
+            values=np.asarray(theta_changes, dtype=float),
+            baseline_accuracy=self.baseline_accuracy,
+        )
+        for change in theta_changes:
+            if abs(change) < 1e-12:
+                result = self.pipeline.run_baseline()
+                attack: PowerAttack = Attack1InputSpikeCorruption(theta_change=0.0)
+            else:
+                attack = Attack1InputSpikeCorruption(theta_change=float(change))
+                result = self.pipeline.run(attack)
+            sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
+        return sweep
+
+    # ------------------------------------------------------- Fig. 8a / Fig. 8b
+    def sweep_layer_threshold(
+        self,
+        layer: str,
+        threshold_changes: Sequence[float] = DEFAULT_THRESHOLD_CHANGES,
+        fractions: Sequence[float] = DEFAULT_FRACTIONS,
+        *,
+        selection: FaultSiteSelection = FaultSiteSelection.RANDOM,
+    ) -> AttackGridResult:
+        """Attack 2 or 3: accuracy vs threshold change x fraction of the layer."""
+        check_in_choices(layer, "layer", (EXCITATORY_LAYER, INHIBITORY_LAYER))
+        attack_cls = (
+            Attack2ExcitatoryThreshold
+            if layer == EXCITATORY_LAYER
+            else Attack3InhibitoryThreshold
+        )
+        baseline = self.baseline_accuracy
+        accuracies = np.zeros((len(threshold_changes), len(fractions)))
+        for i, change in enumerate(threshold_changes):
+            for j, fraction in enumerate(fractions):
+                if fraction == 0.0:
+                    accuracies[i, j] = baseline
+                    continue
+                attack = attack_cls(
+                    threshold_change=float(change),
+                    fraction=float(fraction),
+                    selection=selection,
+                )
+                accuracies[i, j] = self.pipeline.run(attack).accuracy
+        return AttackGridResult(
+            name=f"{layer}_threshold_sweep",
+            row_parameter="threshold_change",
+            column_parameter="fraction_affected",
+            row_values=np.asarray(threshold_changes, dtype=float),
+            column_values=np.asarray(fractions, dtype=float),
+            accuracies=accuracies,
+            baseline_accuracy=baseline,
+            scale_name=self.pipeline.config.scale_name,
+            metadata={"layer": layer, "selection": selection.value},
+        )
+
+    # ------------------------------------------------------------------ Fig. 8c
+    def sweep_both_layers(
+        self,
+        threshold_changes: Sequence[float] = DEFAULT_THRESHOLD_CHANGES,
+    ) -> AttackSweep:
+        """Attack 4: accuracy vs threshold change applied to both layers."""
+        sweep = AttackSweep(
+            name="attack4_both_layers",
+            parameter="threshold_change",
+            values=np.asarray(threshold_changes, dtype=float),
+            baseline_accuracy=self.baseline_accuracy,
+        )
+        for change in threshold_changes:
+            attack = Attack4BothLayerThreshold(threshold_change=float(change))
+            result = self.pipeline.run(attack)
+            sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
+        return sweep
+
+    # ------------------------------------------------------------------ Fig. 9a
+    def sweep_global_vdd(
+        self,
+        vdd_values: Sequence[float] = DEFAULT_VDD_VALUES,
+        *,
+        neuron_type: str = "if_amplifier",
+        parameter_map: Optional[VddToParameterMap] = None,
+    ) -> AttackSweep:
+        """Attack 5: accuracy vs the shared supply voltage (black box)."""
+        sweep = AttackSweep(
+            name="attack5_global_vdd",
+            parameter="vdd",
+            values=np.asarray(vdd_values, dtype=float),
+            baseline_accuracy=self.baseline_accuracy,
+        )
+        for vdd in vdd_values:
+            attack = Attack5GlobalSupply(
+                vdd=float(vdd), neuron_type=neuron_type, parameter_map=parameter_map
+            )
+            if abs(float(vdd) - attack.threat_model.nominal_vdd) < 1e-9:
+                result = self.pipeline.run_baseline()
+            else:
+                result = self.pipeline.run(attack)
+            sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
+        return sweep

@@ -1,0 +1,177 @@
+"""Per-neuron fault injection into the Diehl&Cook network.
+
+The injector is the mechanism shared by all five attacks: it selects a
+fraction of a layer (modelling the reach of a localised glitch) and corrupts
+either the membrane-threshold scale or the input-drive gain of the selected
+neurons.  All injections are recorded and reversible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.snn.models import DiehlAndCook2015, EXCITATORY_LAYER, INHIBITORY_LAYER
+from repro.snn.nodes import LIFNodes
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction, check_in_choices, check_positive
+
+
+class FaultSiteSelection(Enum):
+    """How the affected neurons within a layer are chosen.
+
+    ``RANDOM`` models independent glitch reach; ``CONTIGUOUS`` models a laser
+    spot covering physically adjacent neurons (assuming index order follows
+    layout order).
+    """
+
+    RANDOM = "random"
+    CONTIGUOUS = "contiguous"
+
+
+@dataclass
+class FaultRecord:
+    """One applied fault, for reporting and reversal."""
+
+    layer: str
+    parameter: str
+    scale: float
+    fraction: float
+    affected: np.ndarray
+
+    @property
+    def n_affected(self) -> int:
+        """Number of corrupted neurons."""
+        return int(self.affected.sum())
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.layer}.{self.parameter} x{self.scale:.3f} on "
+            f"{self.n_affected} neurons ({self.fraction:.0%} of layer)"
+        )
+
+
+class FaultInjector:
+    """Applies and reverses power-fault corruptions on a Diehl&Cook network."""
+
+    #: Layers that can be targeted by threshold faults.
+    TARGETABLE_LAYERS = (EXCITATORY_LAYER, INHIBITORY_LAYER)
+
+    def __init__(self, network: DiehlAndCook2015, *, rng: SeedLike = None) -> None:
+        self.network = network
+        self.rng = ensure_rng(rng, name="fault_injector")
+        self.records: List[FaultRecord] = []
+
+    # --------------------------------------------------------------- selection
+    def _layer(self, layer: str) -> LIFNodes:
+        check_in_choices(layer, "layer", self.TARGETABLE_LAYERS)
+        return self.network.layers[layer]
+
+    def select_fault_sites(
+        self,
+        layer: str,
+        fraction: float,
+        *,
+        selection: FaultSiteSelection = FaultSiteSelection.RANDOM,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Boolean mask of the neurons reached by the fault."""
+        check_fraction(fraction, "fraction")
+        nodes = self._layer(layer)
+        n_affected = int(round(fraction * nodes.n))
+        mask = np.zeros(nodes.n, dtype=bool)
+        if n_affected == 0:
+            return mask
+        generator = ensure_rng(rng, name="fault_sites") if rng is not None else self.rng
+        if selection is FaultSiteSelection.RANDOM:
+            chosen = generator.choice(nodes.n, size=n_affected, replace=False)
+        else:
+            start = int(generator.integers(0, nodes.n))
+            chosen = (start + np.arange(n_affected)) % nodes.n
+        mask[np.asarray(chosen, dtype=int)] = True
+        return mask
+
+    # --------------------------------------------------------------- injection
+    def inject_threshold_fault(
+        self,
+        layer: str,
+        scale: float,
+        *,
+        fraction: float = 1.0,
+        selection: FaultSiteSelection = FaultSiteSelection.RANDOM,
+        mask: Optional[np.ndarray] = None,
+    ) -> FaultRecord:
+        """Scale the membrane threshold of part of a layer.
+
+        ``scale`` multiplies the threshold-to-rest gap (e.g. 0.8 models the
+        −20 % threshold change of the paper's worst case).
+        """
+        check_positive(scale, "scale")
+        nodes = self._layer(layer)
+        if mask is None:
+            mask = self.select_fault_sites(layer, fraction, selection=selection)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            fraction = float(mask.mean())
+        nodes.set_threshold_scale(scale, mask)
+        record = FaultRecord(
+            layer=layer,
+            parameter="threshold",
+            scale=scale,
+            fraction=fraction,
+            affected=mask,
+        )
+        self.records.append(record)
+        return record
+
+    def inject_input_gain_fault(
+        self,
+        layer: str,
+        scale: float,
+        *,
+        fraction: float = 1.0,
+        selection: FaultSiteSelection = FaultSiteSelection.RANDOM,
+        mask: Optional[np.ndarray] = None,
+    ) -> FaultRecord:
+        """Scale the per-spike membrane drive of part of a layer.
+
+        This is the paper's ``theta`` corruption: a corrupted current driver
+        delivers larger or smaller input spikes, changing the membrane
+        voltage added per input spike.
+        """
+        check_positive(scale, "scale")
+        nodes = self._layer(layer)
+        if mask is None:
+            mask = self.select_fault_sites(layer, fraction, selection=selection)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            fraction = float(mask.mean())
+        nodes.set_input_gain(scale, mask)
+        record = FaultRecord(
+            layer=layer,
+            parameter="input_gain",
+            scale=scale,
+            fraction=fraction,
+            affected=mask,
+        )
+        self.records.append(record)
+        return record
+
+    # ----------------------------------------------------------------- removal
+    def clear(self) -> None:
+        """Remove every injected fault and restore nominal parameters."""
+        for layer_name in self.TARGETABLE_LAYERS:
+            nodes = self.network.layers[layer_name]
+            nodes.clear_threshold_scale()
+            nodes.set_input_gain(1.0)
+        self.records.clear()
+
+    def describe(self) -> str:
+        """Multi-line description of all active faults."""
+        if not self.records:
+            return "no faults injected"
+        return "\n".join(record.describe() for record in self.records)

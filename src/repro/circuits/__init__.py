@@ -1,0 +1,94 @@
+"""Netlists of every circuit in the paper.
+
+* :mod:`repro.circuits.inverter` — CMOS inverter and switching-threshold
+  extraction (the Axon-Hillock membrane threshold).
+* :mod:`repro.circuits.ota` — the 5-transistor amplifier reused by the I&F
+  neuron, the comparator defense and the robust driver's op-amp.
+* :mod:`repro.circuits.current_driver` — the current-mirror input driver
+  (Fig. 5a) whose output amplitude tracks VDD.
+* :mod:`repro.circuits.axon_hillock` — the Axon-Hillock neuron (Fig. 2a).
+* :mod:`repro.circuits.if_neuron` — the voltage-amplifier I&F neuron
+  (Fig. 2b).
+* :mod:`repro.circuits.robust_driver` — the regulated, VDD-insensitive
+  current driver defense (Fig. 9b).
+* :mod:`repro.circuits.comparator` — the comparator that replaces the first
+  inverter in the hardened Axon-Hillock neuron (Fig. 10a).
+* :mod:`repro.circuits.bandgap` — supply-insensitive reference models used by
+  the threshold-hardening defense.
+"""
+
+from repro.circuits.inverter import (
+    InverterSizing,
+    add_inverter,
+    build_inverter,
+    switching_threshold,
+    threshold_vs_vdd,
+)
+from repro.circuits.ota import OTASizing, add_five_transistor_ota, build_ota_testbench
+from repro.circuits.current_driver import (
+    CurrentDriverDesign,
+    amplitude_vs_vdd,
+    build_current_driver,
+    output_current,
+    spike_train_response,
+)
+from repro.circuits.axon_hillock import (
+    AxonHillockDesign,
+    build_axon_hillock,
+    default_input_spike_train,
+    simulate_axon_hillock,
+)
+from repro.circuits.if_neuron import (
+    IFNeuronDesign,
+    build_if_neuron,
+    simulate_if_neuron,
+)
+from repro.circuits.robust_driver import (
+    RobustDriverDesign,
+    build_robust_driver,
+)
+from repro.circuits.comparator import (
+    ComparatorDesign,
+    build_comparator,
+    trip_point,
+    trip_point_vs_vdd,
+)
+from repro.circuits.bandgap import (
+    BandgapReferenceModel,
+    build_diode_reference,
+    diode_reference_voltage,
+    reference_vs_vdd,
+)
+
+__all__ = [
+    "InverterSizing",
+    "add_inverter",
+    "build_inverter",
+    "switching_threshold",
+    "threshold_vs_vdd",
+    "OTASizing",
+    "add_five_transistor_ota",
+    "build_ota_testbench",
+    "CurrentDriverDesign",
+    "amplitude_vs_vdd",
+    "build_current_driver",
+    "output_current",
+    "spike_train_response",
+    "AxonHillockDesign",
+    "build_axon_hillock",
+    "default_input_spike_train",
+    "simulate_axon_hillock",
+    "IFNeuronDesign",
+    "build_if_neuron",
+    "simulate_if_neuron",
+    "RobustDriverDesign",
+    "build_robust_driver",
+    "ComparatorDesign",
+    "build_comparator",
+    "trip_point",
+    "trip_point_vs_vdd",
+    "BandgapReferenceModel",
+    "build_diode_reference",
+    "diode_reference_voltage",
+    "reference_vs_vdd",
+]

@@ -1,0 +1,187 @@
+"""Axon-Hillock spiking neuron circuit (paper Fig. 2a).
+
+The Axon-Hillock neuron (Mead's classic analog VLSI neuron) integrates the
+input current on a membrane capacitor ``Cmem``.  A two-inverter amplifier
+senses the membrane voltage; when it crosses the first inverter's switching
+threshold the output snaps to VDD, positive feedback through the capacitive
+divider ``Cfb`` reinforces the transition, and the output turns on a reset
+path (``MN1`` in series with the ``Vpw``-biased ``MN2``) that discharges the
+membrane until the amplifier flips back.
+
+The paper's nominal design values are used by default: ``Cmem = Cfb = 1 pF``,
+input spikes of 200 nA / 25 ns at 40 MHz, ``VDD = 1 V``.  For unit tests the
+capacitances can be scaled down to keep transient runs short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analog import Circuit, PulseSource, transient_analysis
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.analog.units import ValueLike, parse_value
+from repro.circuits.inverter import InverterSizing, add_inverter
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class AxonHillockDesign:
+    """Component values for the Axon-Hillock neuron.
+
+    Attributes mirror the paper's experimental setup (Sec. II-B-1).
+    """
+
+    membrane_capacitance: float = 1e-12
+    feedback_capacitance: float = 1e-12
+    vdd: float = 1.0
+    #: Gate bias of the reset-current transistor MN2.  Sets the reset current
+    #: (and therefore the output pulse width); it must exceed the average
+    #: input current for the membrane to reset.
+    pulse_width_bias: float = 0.38
+    first_inverter: InverterSizing = field(default_factory=InverterSizing)
+    second_inverter: InverterSizing = field(default_factory=InverterSizing)
+    reset_width: float = 2e-6
+    nmos_params: MOSFETParameters = NMOS_65NM
+    pmos_params: MOSFETParameters = PMOS_65NM
+
+    def __post_init__(self) -> None:
+        check_positive(self.membrane_capacitance, "membrane_capacitance")
+        check_positive(self.feedback_capacitance, "feedback_capacitance")
+        check_positive(self.vdd, "vdd")
+        check_positive(self.reset_width, "reset_width")
+
+    def with_vdd(self, vdd: float) -> "AxonHillockDesign":
+        """Copy of the design at a different supply voltage (attack knob)."""
+        return AxonHillockDesign(
+            membrane_capacitance=self.membrane_capacitance,
+            feedback_capacitance=self.feedback_capacitance,
+            vdd=vdd,
+            pulse_width_bias=self.pulse_width_bias,
+            first_inverter=self.first_inverter,
+            second_inverter=self.second_inverter,
+            reset_width=self.reset_width,
+            nmos_params=self.nmos_params,
+            pmos_params=self.pmos_params,
+        )
+
+
+def build_axon_hillock(
+    design: Optional[AxonHillockDesign] = None,
+    *,
+    input_source=None,
+) -> Circuit:
+    """Build the Axon-Hillock neuron circuit.
+
+    Nodes: ``vdd``, ``vmem`` (membrane), ``va`` (first-inverter output),
+    ``vout`` (neuron output), ``vreset`` (reset-path internal node),
+    ``vpw`` (reset bias).
+
+    Parameters
+    ----------
+    design:
+        Component values; paper defaults when omitted.
+    input_source:
+        Value or waveform for the input current source ``Iin`` (injected into
+        the membrane).  Defaults to a 200 nA, 25 ns-wide, 40 MHz pulse train.
+    """
+    design = design or AxonHillockDesign()
+    if input_source is None:
+        input_source = default_input_spike_train()
+
+    circuit = Circuit("axon_hillock_neuron")
+    circuit.add_voltage_source("VDD", "vdd", "0", design.vdd)
+    circuit.add_voltage_source("VPW", "vpw", "0", design.pulse_width_bias)
+    # Input current is injected into the membrane node.
+    circuit.add_current_source("IIN", "0", "vmem", input_source)
+    circuit.add_capacitor("CMEM", "vmem", "0", design.membrane_capacitance)
+    circuit.add_capacitor("CFB", "vout", "vmem", design.feedback_capacitance)
+
+    # Two-inverter amplifier: vmem -> va -> vout.  The first inverter's
+    # switching threshold is the neuron's membrane threshold.
+    add_inverter(
+        circuit,
+        "INV1",
+        "vmem",
+        "va",
+        "vdd",
+        sizing=design.first_inverter,
+        nmos_params=design.nmos_params,
+        pmos_params=design.pmos_params,
+    )
+    add_inverter(
+        circuit,
+        "INV2",
+        "va",
+        "vout",
+        "vdd",
+        sizing=design.second_inverter,
+        nmos_params=design.nmos_params,
+        pmos_params=design.pmos_params,
+    )
+    # Small parasitic load on the inter-stage node keeps the regenerative
+    # transition numerically well behaved (real layouts have this parasitic).
+    circuit.add_capacitor("CA", "va", "0", "5f")
+
+    # Reset path: MN1 (gated by the output) in series with MN2 (gated by Vpw)
+    # discharges the membrane when the neuron fires.
+    circuit.add_mosfet(
+        "MN1",
+        "vmem",
+        "vout",
+        "vreset",
+        design.nmos_params,
+        width=design.reset_width,
+        length=65e-9,
+    )
+    circuit.add_mosfet(
+        "MN2",
+        "vreset",
+        "vpw",
+        "0",
+        design.nmos_params,
+        width=design.reset_width,
+        length=65e-9,
+    )
+    return circuit
+
+
+def default_input_spike_train(
+    amplitude: ValueLike = "200n",
+    *,
+    spike_width: ValueLike = "12.5n",
+    period: ValueLike = "25n",
+    delay: ValueLike = "5n",
+) -> PulseSource:
+    """The paper's nominal input: 200 nA spikes at a 40 MHz repetition rate."""
+    return PulseSource(
+        0.0,
+        parse_value(amplitude),
+        width=spike_width,
+        period=period,
+        rise="0.5n",
+        fall="0.5n",
+        delay=delay,
+    )
+
+
+def simulate_axon_hillock(
+    design: Optional[AxonHillockDesign] = None,
+    *,
+    input_source=None,
+    stop_time: ValueLike = "2u",
+    time_step: ValueLike = "2n",
+):
+    """Transient simulation of the Axon-Hillock neuron (paper Fig. 3).
+
+    Returns the :class:`~repro.analog.transient.TransientResult`; the
+    membrane is node ``vmem`` and the output is node ``vout``.
+    """
+    circuit = build_axon_hillock(design, input_source=input_source)
+    return transient_analysis(
+        circuit,
+        stop_time=stop_time,
+        time_step=time_step,
+        use_initial_conditions=True,
+        record_nodes=["vmem", "va", "vout", "vreset"],
+    )

@@ -1,0 +1,101 @@
+"""Comparator cell used by the Axon-Hillock hardening defense (paper Fig. 10a).
+
+The defense replaces the first inverter of the Axon-Hillock neuron with a
+comparator whose trip point is set by an externally biased reference (IN-
+at 600 mV, tail bias VB at 400 mV in the paper) rather than by the inverter's
+VDD-dependent switching threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analog import Circuit, dc_sweep
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.circuits.ota import OTASizing, add_five_transistor_ota
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ComparatorDesign:
+    """Bias and sizing of the threshold comparator."""
+
+    reference_voltage: float = 0.6
+    tail_bias: float = 0.4
+    sizing: OTASizing = field(default_factory=OTASizing)
+    nmos_params: MOSFETParameters = NMOS_65NM
+    pmos_params: MOSFETParameters = PMOS_65NM
+
+    def __post_init__(self) -> None:
+        check_positive(self.reference_voltage, "reference_voltage")
+        check_positive(self.tail_bias, "tail_bias")
+
+
+def build_comparator(
+    vdd: float = 1.0,
+    *,
+    design: Optional[ComparatorDesign] = None,
+) -> Circuit:
+    """Build the comparator test bench.
+
+    Nodes: ``vdd``, ``vin`` (the signal input, IN+), ``vref`` (IN-),
+    ``vout``.
+    """
+    design = design or ComparatorDesign()
+    circuit = Circuit("threshold_comparator")
+    circuit.add_voltage_source("VDD", "vdd", "0", vdd)
+    circuit.add_voltage_source("VIN", "vin", "0", 0.0)
+    circuit.add_voltage_source("VREFIN", "vref", "0", design.reference_voltage)
+    circuit.add_voltage_source("VB", "vb", "0", design.tail_bias)
+    add_five_transistor_ota(
+        circuit,
+        "CMP",
+        "vin",
+        "vref",
+        "vout",
+        "vdd",
+        node_bias="vb",
+        sizing=design.sizing,
+        nmos_params=design.nmos_params,
+        pmos_params=design.pmos_params,
+    )
+    circuit.add_capacitor("CL", "vout", "0", "20f")
+    circuit.add_resistor("RL", "vout", "0", "100meg")
+    return circuit
+
+
+def trip_point(
+    vdd: float = 1.0,
+    *,
+    design: Optional[ComparatorDesign] = None,
+    points: int = 81,
+) -> float:
+    """Input voltage at which the comparator output crosses VDD/2.
+
+    Because the trip point is set by the reference input rather than the
+    supply, it stays near ``design.reference_voltage`` as VDD varies — this
+    is the quantity compared against the inverter threshold in the defense
+    evaluation.
+    """
+    design = design or ComparatorDesign()
+    circuit = build_comparator(vdd, design=design)
+    vin = np.linspace(0.0, vdd, points)
+    sweep = dc_sweep(circuit, "VIN", vin)
+    vout = sweep.voltage("vout")
+    half = vdd / 2.0
+    above = vout >= half
+    crossings = np.nonzero(np.diff(above.astype(int)) != 0)[0]
+    if len(crossings) == 0:
+        raise RuntimeError(f"comparator output never crosses VDD/2 at VDD={vdd}")
+    idx = int(crossings[0])
+    x0, x1 = vin[idx], vin[idx + 1]
+    y0, y1 = vout[idx] - half, vout[idx + 1] - half
+    return float(x0 - y0 * (x1 - x0) / (y1 - y0))
+
+
+def trip_point_vs_vdd(vdd_values, *, design: Optional[ComparatorDesign] = None) -> np.ndarray:
+    """Comparator trip point across a VDD sweep (paper Fig. 10a defense)."""
+    return np.array([trip_point(float(v), design=design) for v in vdd_values])

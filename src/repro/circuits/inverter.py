@@ -1,0 +1,168 @@
+"""CMOS inverter and its switching-threshold extraction.
+
+The Axon-Hillock neuron's membrane threshold *is* the switching threshold of
+its first inverter (paper Sec. V-B-2), so the inverter is the primitive whose
+supply-voltage sensitivity drives Attacks 2-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analog import Circuit, dc_sweep
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.analog.units import ValueLike, parse_value
+from repro.utils.validation import check_positive
+
+#: Default device widths chosen so the inverter trips near VDD/2 at VDD = 1 V.
+DEFAULT_PMOS_WIDTH = 400e-9
+DEFAULT_NMOS_WIDTH = 520e-9
+DEFAULT_LENGTH = 65e-9
+
+
+@dataclass
+class InverterSizing:
+    """Geometry of a CMOS inverter."""
+
+    pmos_width: float = DEFAULT_PMOS_WIDTH
+    nmos_width: float = DEFAULT_NMOS_WIDTH
+    length: float = DEFAULT_LENGTH
+
+    def __post_init__(self) -> None:
+        check_positive(self.pmos_width, "pmos_width")
+        check_positive(self.nmos_width, "nmos_width")
+        check_positive(self.length, "length")
+
+    @property
+    def pmos_ratio(self) -> float:
+        """PMOS W/L."""
+        return self.pmos_width / self.length
+
+    @property
+    def nmos_ratio(self) -> float:
+        """NMOS W/L."""
+        return self.nmos_width / self.length
+
+    def scaled_pmos(self, factor: float) -> "InverterSizing":
+        """Return a sizing with the PMOS width multiplied by ``factor``."""
+        return InverterSizing(self.pmos_width * factor, self.nmos_width, self.length)
+
+    def scaled_nmos(self, factor: float) -> "InverterSizing":
+        """Return a sizing with the NMOS width multiplied by ``factor``."""
+        return InverterSizing(self.pmos_width, self.nmos_width * factor, self.length)
+
+
+def add_inverter(
+    circuit: Circuit,
+    name: str,
+    node_in: str,
+    node_out: str,
+    node_vdd: str,
+    *,
+    sizing: Optional[InverterSizing] = None,
+    nmos_params: MOSFETParameters = NMOS_65NM,
+    pmos_params: MOSFETParameters = PMOS_65NM,
+) -> None:
+    """Add a CMOS inverter (two MOSFETs) to an existing circuit."""
+    sizing = sizing or InverterSizing()
+    circuit.add_mosfet(
+        f"{name}.MP",
+        node_out,
+        node_in,
+        node_vdd,
+        pmos_params,
+        width=sizing.pmos_width,
+        length=sizing.length,
+    )
+    circuit.add_mosfet(
+        f"{name}.MN",
+        node_out,
+        node_in,
+        "0",
+        nmos_params,
+        width=sizing.nmos_width,
+        length=sizing.length,
+    )
+
+
+def build_inverter(
+    vdd: ValueLike = 1.0,
+    *,
+    sizing: Optional[InverterSizing] = None,
+    nmos_params: MOSFETParameters = NMOS_65NM,
+    pmos_params: MOSFETParameters = PMOS_65NM,
+) -> Circuit:
+    """Build a standalone inverter with VDD and VIN sources attached.
+
+    Nodes: ``vdd``, ``in``, ``out``.
+    """
+    circuit = Circuit("cmos_inverter")
+    circuit.add_voltage_source("VDD", "vdd", "0", parse_value(vdd))
+    circuit.add_voltage_source("VIN", "in", "0", 0.0)
+    add_inverter(
+        circuit,
+        "INV",
+        "in",
+        "out",
+        "vdd",
+        sizing=sizing,
+        nmos_params=nmos_params,
+        pmos_params=pmos_params,
+    )
+    return circuit
+
+
+def switching_threshold(
+    vdd: ValueLike = 1.0,
+    *,
+    sizing: Optional[InverterSizing] = None,
+    nmos_params: MOSFETParameters = NMOS_65NM,
+    pmos_params: MOSFETParameters = PMOS_65NM,
+    points: int = 81,
+) -> float:
+    """Extract the inverter switching threshold at supply ``vdd``.
+
+    The switching threshold is the input voltage at which ``vout == vin``
+    (the standard definition; it is also where the voltage transfer curve has
+    its highest gain).  It is found by a DC sweep of the input followed by
+    interpolation of the ``vout - vin`` zero crossing.
+    """
+    vdd = parse_value(vdd)
+    circuit = build_inverter(
+        vdd, sizing=sizing, nmos_params=nmos_params, pmos_params=pmos_params
+    )
+    vin = np.linspace(0.0, vdd, points)
+    sweep = dc_sweep(circuit, "VIN", vin)
+    vout = sweep.voltage("out")
+    diff = vout - vin
+    sign_change = np.nonzero(np.diff(np.sign(diff)) < 0)[0]
+    if len(sign_change) == 0:
+        raise RuntimeError(
+            f"inverter transfer curve never crosses vout == vin for VDD={vdd}"
+        )
+    idx = int(sign_change[0])
+    # Linear interpolation of the zero crossing of (vout - vin).
+    x0, x1 = vin[idx], vin[idx + 1]
+    y0, y1 = diff[idx], diff[idx + 1]
+    return float(x0 - y0 * (x1 - x0) / (y1 - y0))
+
+
+def threshold_vs_vdd(
+    vdd_values,
+    *,
+    sizing: Optional[InverterSizing] = None,
+    nmos_params: MOSFETParameters = NMOS_65NM,
+    pmos_params: MOSFETParameters = PMOS_65NM,
+) -> np.ndarray:
+    """Switching threshold for each VDD in ``vdd_values`` (paper Fig. 6a)."""
+    return np.array(
+        [
+            switching_threshold(
+                v, sizing=sizing, nmos_params=nmos_params, pmos_params=pmos_params
+            )
+            for v in vdd_values
+        ]
+    )

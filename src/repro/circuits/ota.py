@@ -1,0 +1,137 @@
+"""Five-transistor operational transconductance amplifier (OTA).
+
+The voltage-amplifier I&F neuron (paper Fig. 2b) "employs a 5-transistor
+amplifier that offers better control over the threshold voltage"; the same
+cell is reused as the comparator in the Axon-Hillock hardening defense
+(Fig. 10a) and as the error amplifier of the robust current driver (Fig. 9b).
+
+Topology (classic 5T OTA):
+
+* NMOS differential pair ``M_INP`` / ``M_INN`` sharing a tail node.
+* NMOS tail current source ``M_TAIL`` biased by ``vbias``.
+* PMOS current-mirror load ``MP_DIODE`` (diode connected) / ``MP_OUT``.
+* Single-ended output taken at the drain of ``M_INP``'s counterpart.
+
+The output rises when ``v_plus > v_minus`` (non-inverting w.r.t. ``v_plus``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analog import Circuit
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class OTASizing:
+    """Geometry of the 5-transistor OTA."""
+
+    input_width: float = 2e-6
+    load_width: float = 1e-6
+    tail_width: float = 1e-6
+    length: float = 130e-9
+
+    def __post_init__(self) -> None:
+        for field_name in ("input_width", "load_width", "tail_width", "length"):
+            check_positive(getattr(self, field_name), field_name)
+
+
+def add_five_transistor_ota(
+    circuit: Circuit,
+    name: str,
+    node_plus: str,
+    node_minus: str,
+    node_out: str,
+    node_vdd: str,
+    *,
+    node_bias: str = None,
+    sizing: OTASizing | None = None,
+    nmos_params: MOSFETParameters = NMOS_65NM,
+    pmos_params: MOSFETParameters = PMOS_65NM,
+    bias_voltage: float = 0.55,
+) -> None:
+    """Add a 5T OTA to ``circuit``.
+
+    If ``node_bias`` is None, a dedicated bias voltage source
+    (``{name}.VBIAS``) is created at ``bias_voltage`` volts.
+    """
+    sizing = sizing or OTASizing()
+    tail = f"{name}.tail"
+    mirror = f"{name}.mirror"
+    if node_bias is None:
+        node_bias = f"{name}.vbias"
+        circuit.add_voltage_source(f"{name}.VBIAS", node_bias, "0", bias_voltage)
+
+    # Tail current source.
+    circuit.add_mosfet(
+        f"{name}.M_TAIL",
+        tail,
+        node_bias,
+        "0",
+        nmos_params,
+        width=sizing.tail_width,
+        length=sizing.length,
+    )
+    # Differential pair: the positive input steers current into the diode
+    # branch, which the mirror copies to the output branch, raising the
+    # output when v_plus > v_minus.
+    circuit.add_mosfet(
+        f"{name}.M_INP",
+        mirror,
+        node_plus,
+        tail,
+        nmos_params,
+        width=sizing.input_width,
+        length=sizing.length,
+    )
+    circuit.add_mosfet(
+        f"{name}.M_INN",
+        node_out,
+        node_minus,
+        tail,
+        nmos_params,
+        width=sizing.input_width,
+        length=sizing.length,
+    )
+    # PMOS mirror load.
+    circuit.add_mosfet(
+        f"{name}.MP_DIODE",
+        mirror,
+        mirror,
+        node_vdd,
+        pmos_params,
+        width=sizing.load_width,
+        length=sizing.length,
+    )
+    circuit.add_mosfet(
+        f"{name}.MP_OUT",
+        node_out,
+        mirror,
+        node_vdd,
+        pmos_params,
+        width=sizing.load_width,
+        length=sizing.length,
+    )
+
+
+def build_ota_testbench(
+    vdd: float = 1.0,
+    *,
+    v_minus: float = 0.5,
+    sizing: OTASizing | None = None,
+) -> Circuit:
+    """Standalone OTA with sources on both inputs (for characterisation).
+
+    Nodes: ``vdd``, ``inp``, ``inn``, ``out``.
+    """
+    circuit = Circuit("five_transistor_ota")
+    circuit.add_voltage_source("VDD", "vdd", "0", vdd)
+    circuit.add_voltage_source("VINP", "inp", "0", v_minus)
+    circuit.add_voltage_source("VINN", "inn", "0", v_minus)
+    add_five_transistor_ota(circuit, "OTA", "inp", "inn", "out", "vdd", sizing=sizing)
+    # Small load keeps the output node well defined.
+    circuit.add_capacitor("CL", "out", "0", "50f")
+    circuit.add_resistor("RL", "out", "0", "100meg")
+    return circuit

@@ -1,0 +1,108 @@
+"""Experiment configuration presets.
+
+Three scales are provided:
+
+* ``paper()`` — the paper's setup: 1000 training images, 100+100 neurons,
+  250 ms presentations.  Used when regenerating the full evaluation.
+* ``benchmark()`` — a reduced setup (300 training images, 150 ms) whose
+  baseline accuracy matches the paper's (~76 %) but which keeps the full
+  attack sweeps tractable on a laptop.  This is the default for the
+  benchmark harness.
+* ``smoke()`` — a tiny setup for unit and integration tests.
+
+The scale used by the benchmark harness can be overridden with the
+``REPRO_SCALE`` environment variable (``paper``, ``benchmark`` or ``smoke``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.snn.models import DiehlAndCookParameters
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one classification experiment."""
+
+    #: Number of images used for STDP training (the paper uses 1000).
+    n_train: int = 300
+    #: Number of held-out images used to measure accuracy.
+    n_eval: int = 100
+    #: Poisson presentation length per image, in simulation steps (1 ms each).
+    time_steps: int = 150
+    #: Firing rate (Hz) of a full-intensity pixel.
+    max_rate: float = 63.75
+    #: Number of digit classes.
+    n_classes: int = 10
+    #: Master seed: dataset jitter, weight init, Poisson encoding and fault
+    #: site selection all derive independent streams from it.
+    seed: int = 7
+    #: Network hyper-parameters.  The input→excitatory normalisation default
+    #: is raised from BindsNET's 78.4 to 140 because the synthetic digits
+    #: have thinner strokes (fewer active pixels) than MNIST; the higher norm
+    #: restores the same per-step excitatory drive and the ~76 % baseline.
+    network: DiehlAndCookParameters = field(
+        default_factory=lambda: DiehlAndCookParameters(norm=140.0)
+    )
+    #: Fraction of the generated dataset reserved for evaluation.
+    test_fraction: float = 0.25
+    #: Human-readable scale label.
+    scale_name: str = "benchmark"
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_train, "n_train")
+        check_positive(self.n_eval, "n_eval")
+        check_positive(self.time_steps, "time_steps")
+        check_positive(self.max_rate, "max_rate")
+        check_positive(self.n_classes, "n_classes")
+        check_fraction(self.test_fraction, "test_fraction")
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of synthetic images to generate."""
+        return self.n_train + self.n_eval
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Copy of the config with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's experimental scale (Sec. IV-A)."""
+        return cls(
+            n_train=1000,
+            n_eval=250,
+            time_steps=250,
+            scale_name="paper",
+        )
+
+    @classmethod
+    def benchmark(cls) -> "ExperimentConfig":
+        """Reduced scale with a matching ~76 % baseline (default for benches)."""
+        return cls(scale_name="benchmark")
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Tiny scale for unit/integration tests (seconds, not minutes)."""
+        return cls(
+            n_train=120,
+            n_eval=60,
+            time_steps=100,
+            network=DiehlAndCookParameters(n_neurons=64, norm=140.0),
+            scale_name="smoke",
+        )
+
+    @classmethod
+    def from_environment(cls, default: str = "benchmark") -> "ExperimentConfig":
+        """Pick a preset by the ``REPRO_SCALE`` environment variable."""
+        scale = os.environ.get("REPRO_SCALE", default).strip().lower()
+        presets = {"paper": cls.paper, "benchmark": cls.benchmark, "smoke": cls.smoke}
+        if scale not in presets:
+            raise ValueError(
+                f"REPRO_SCALE must be one of {sorted(presets)}, got {scale!r}"
+            )
+        return presets[scale]()

@@ -1,0 +1,156 @@
+"""Train / attack / evaluate pipeline for the Diehl&Cook digit classifier.
+
+The pipeline owns the dataset, the encoding, the training loop, the label
+assignment and the evaluation — everything the attack figures need.  A power
+attack is modelled as a *persistent hardware fault*: it is injected before
+training and stays in place through training, label assignment and
+evaluation, matching the paper's "corrupt crucial training parameters"
+framing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.attacks import NoAttack, PowerAttack
+from repro.attacks.injector import FaultInjector
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.datasets.digits import SyntheticDigits
+from repro.datasets.loaders import train_test_split
+from repro.snn.encoding import poisson_encode
+from repro.snn.evaluation import (
+    all_activity_prediction,
+    assign_labels,
+    classification_accuracy,
+)
+from repro.snn.models import DiehlAndCook2015
+from repro.utils.rng import RandomState
+
+
+class ClassificationPipeline:
+    """End-to-end digit-classification experiment, with optional attacks.
+
+    Parameters
+    ----------
+    config:
+        Experiment scale and network hyper-parameters.
+
+    Notes
+    -----
+    The dataset and its train/test split are generated once per pipeline and
+    reused across runs, so baseline and attacked runs see identical images
+    and identical Poisson seeds — accuracy differences are attributable to
+    the injected faults alone.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig.benchmark()
+        root = RandomState(self.config.seed, name="pipeline")
+        self._dataset_rng = root.spawn("dataset")
+        self._split_rng = root.spawn("split")
+        self._network_seed_rng = root.spawn("network")
+        self._encoding_seed = root.spawn("encoding")
+        self._fault_seed = root.spawn("faults")
+
+        dataset = SyntheticDigits(
+            n_samples=self.config.n_samples, seed=self._dataset_rng
+        )
+        train_x, train_y, eval_x, eval_y = train_test_split(
+            dataset.flattened(),
+            dataset.labels,
+            test_fraction=self.config.test_fraction,
+            rng=self._split_rng,
+        )
+        self.train_images = train_x[: self.config.n_train]
+        self.train_labels = train_y[: self.config.n_train]
+        self.eval_images = eval_x[: self.config.n_eval]
+        self.eval_labels = eval_y[: self.config.n_eval]
+        self._baseline_result: Optional[ExperimentResult] = None
+
+    # ----------------------------------------------------------------- pieces
+    def build_network(self) -> DiehlAndCook2015:
+        """A freshly initialised Diehl&Cook network (deterministic per seed)."""
+        return DiehlAndCook2015(
+            self.config.network, rng=RandomState(self.config.seed, name="weights")
+        )
+
+    def _encode(self, image: np.ndarray, rng: RandomState) -> np.ndarray:
+        return poisson_encode(
+            image,
+            time_steps=self.config.time_steps,
+            max_rate=self.config.max_rate,
+            rng=rng,
+        )
+
+    def train(self, network: DiehlAndCook2015) -> None:
+        """Run STDP training over the training images."""
+        rng = RandomState(self.config.seed, name="train_encoding")
+        for image in self.train_images:
+            network.present(self._encode(image, rng), learning=True)
+
+    def record_responses(
+        self, network: DiehlAndCook2015, images: np.ndarray, *, stream: str
+    ) -> np.ndarray:
+        """Excitatory spike counts for each image, with learning disabled."""
+        rng = RandomState(self.config.seed, name=f"{stream}_encoding")
+        counts: List[np.ndarray] = []
+        for image in images:
+            counts.append(network.present(self._encode(image, rng), learning=False))
+        return np.asarray(counts)
+
+    def assign(self, network: DiehlAndCook2015) -> Tuple[np.ndarray, np.ndarray]:
+        """Assign each excitatory neuron to a digit class from training activity."""
+        counts = self.record_responses(network, self.train_images, stream="assign")
+        return assign_labels(counts, self.train_labels, self.config.n_classes)
+
+    def evaluate(
+        self, network: DiehlAndCook2015, assignments: np.ndarray
+    ) -> Tuple[float, float]:
+        """Accuracy and mean excitatory spike count on the held-out images."""
+        counts = self.record_responses(network, self.eval_images, stream="eval")
+        predictions = all_activity_prediction(
+            counts, assignments, self.config.n_classes
+        )
+        accuracy = classification_accuracy(predictions, self.eval_labels)
+        return accuracy, float(counts.sum(axis=1).mean())
+
+    # ------------------------------------------------------------------- runs
+    def run(self, attack: Optional[PowerAttack] = None) -> ExperimentResult:
+        """Train and evaluate one network, optionally under a persistent attack."""
+        attack = attack or NoAttack()
+        network = self.build_network()
+        injector = FaultInjector(network, rng=self._fault_seed.spawn(attack.label()))
+        records = attack.apply(injector)
+        self.train(network)
+        assignments, _rates = self.assign(network)
+        accuracy, mean_spikes = self.evaluate(network, assignments)
+        baseline = (
+            self._baseline_result.accuracy
+            if self._baseline_result is not None
+            else (accuracy if isinstance(attack, NoAttack) else None)
+        )
+        result = ExperimentResult(
+            attack_label=attack.label(),
+            accuracy=accuracy,
+            baseline_accuracy=baseline,
+            mean_excitatory_spikes=mean_spikes,
+            fault_descriptions=[record.describe() for record in records],
+            scale_name=self.config.scale_name,
+        )
+        if isinstance(attack, NoAttack) and self._baseline_result is None:
+            self._baseline_result = result
+        return result
+
+    def run_baseline(self) -> ExperimentResult:
+        """Run (or return the cached) attack-free experiment."""
+        if self._baseline_result is None:
+            self._baseline_result = self.run(NoAttack())
+        return self._baseline_result
+
+    @property
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the attack-free run (computed on demand)."""
+        return self.run_baseline().accuracy

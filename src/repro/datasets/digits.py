@@ -1,0 +1,244 @@
+"""Stroke-skeleton digit rendering and the synthetic digit dataset.
+
+Each digit class is described by a set of polylines in a unit box; a sample
+is rendered by applying a random affine jitter (shift, rotation, scale,
+stroke thickness) to the skeleton and converting the distance from each
+pixel to the nearest stroke into a grey-scale intensity.  The result is a
+28×28 image with intensities in [0, 255], the same format the Diehl & Cook
+pipeline expects from MNIST.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive
+
+Point = Tuple[float, float]
+Polyline = Sequence[Point]
+
+
+def _arc(
+    center: Point, radius_x: float, radius_y: float, start_deg: float, stop_deg: float, points: int = 12
+) -> List[Point]:
+    """Sample an elliptical arc as a polyline (angles in degrees, y axis down)."""
+    angles = np.linspace(math.radians(start_deg), math.radians(stop_deg), points)
+    return [
+        (center[0] + radius_x * math.cos(a), center[1] + radius_y * math.sin(a))
+        for a in angles
+    ]
+
+
+#: Stroke skeletons for the ten digit classes, in a [0, 1] x [0, 1] box with
+#: the y axis pointing down (row direction).  Each class is a list of
+#: polylines.
+DIGIT_SKELETONS: Dict[int, List[List[Point]]] = {
+    0: [_arc((0.5, 0.5), 0.28, 0.38, 0, 360, 24)],
+    1: [[(0.35, 0.25), (0.55, 0.12), (0.55, 0.88)], [(0.35, 0.88), (0.75, 0.88)]],
+    2: [
+        _arc((0.5, 0.30), 0.26, 0.20, 180, 360, 10),
+        [(0.76, 0.30), (0.70, 0.52), (0.40, 0.72), (0.24, 0.88)],
+        [(0.24, 0.88), (0.78, 0.88)],
+    ],
+    3: [
+        _arc((0.47, 0.30), 0.24, 0.19, 150, 380, 10),
+        _arc((0.47, 0.69), 0.26, 0.21, 340, 580, 10),
+    ],
+    4: [
+        [(0.62, 0.12), (0.24, 0.62)],
+        [(0.24, 0.62), (0.80, 0.62)],
+        [(0.62, 0.12), (0.62, 0.90)],
+    ],
+    5: [
+        [(0.74, 0.14), (0.30, 0.14)],
+        [(0.30, 0.14), (0.28, 0.48)],
+        _arc((0.48, 0.66), 0.26, 0.23, 250, 470, 12),
+    ],
+    6: [
+        [(0.66, 0.12), (0.38, 0.42), (0.30, 0.62)],
+        _arc((0.50, 0.68), 0.22, 0.21, 0, 360, 18),
+    ],
+    7: [
+        [(0.24, 0.14), (0.78, 0.14)],
+        [(0.78, 0.14), (0.44, 0.88)],
+        [(0.34, 0.52), (0.66, 0.52)],
+    ],
+    8: [
+        _arc((0.5, 0.30), 0.21, 0.18, 0, 360, 18),
+        _arc((0.5, 0.70), 0.25, 0.21, 0, 360, 18),
+    ],
+    9: [
+        _arc((0.48, 0.32), 0.22, 0.20, 0, 360, 18),
+        [(0.70, 0.32), (0.68, 0.60), (0.56, 0.88)],
+    ],
+}
+
+
+def _segment_distances(
+    pixel_x: np.ndarray, pixel_y: np.ndarray, p0: Point, p1: Point
+) -> np.ndarray:
+    """Distance from every pixel centre to the segment ``p0``-``p1``."""
+    px, py = p0
+    qx, qy = p1
+    dx, dy = qx - px, qy - py
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0:
+        return np.hypot(pixel_x - px, pixel_y - py)
+    t = ((pixel_x - px) * dx + (pixel_y - py) * dy) / length_sq
+    t = np.clip(t, 0.0, 1.0)
+    nearest_x = px + t * dx
+    nearest_y = py + t * dy
+    return np.hypot(pixel_x - nearest_x, pixel_y - nearest_y)
+
+
+def render_digit(
+    digit: int,
+    *,
+    size: int = 28,
+    thickness: float = 0.055,
+    rotation_deg: float = 0.0,
+    scale: float = 1.0,
+    shift: Tuple[float, float] = (0.0, 0.0),
+    noise_amplitude: float = 0.0,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Render one digit image.
+
+    Parameters
+    ----------
+    digit:
+        Class label in 0-9.
+    size:
+        Image side length in pixels.
+    thickness:
+        Stroke half-width in unit-box coordinates.
+    rotation_deg, scale, shift:
+        Affine jitter applied to the skeleton around the box centre.
+    noise_amplitude:
+        Standard deviation of additive Gaussian pixel noise (0-255 scale).
+    rng:
+        Seed or generator (only used when ``noise_amplitude > 0``).
+
+    Returns
+    -------
+    np.ndarray of float, shape ``(size, size)``, intensities in [0, 255].
+    """
+    if digit not in DIGIT_SKELETONS:
+        raise ValueError(f"digit must be in 0-9, got {digit}")
+    check_positive(size, "size")
+    check_positive(thickness, "thickness")
+    check_positive(scale, "scale")
+
+    cos_r = math.cos(math.radians(rotation_deg))
+    sin_r = math.sin(math.radians(rotation_deg))
+
+    def transform(point: Point) -> Point:
+        x, y = point[0] - 0.5, point[1] - 0.5
+        x, y = scale * (cos_r * x - sin_r * y), scale * (sin_r * x + cos_r * y)
+        return x + 0.5 + shift[0], y + 0.5 + shift[1]
+
+    coords = (np.arange(size) + 0.5) / size
+    pixel_x, pixel_y = np.meshgrid(coords, coords)  # pixel_y is the row axis
+
+    distance = np.full((size, size), np.inf)
+    for polyline in DIGIT_SKELETONS[digit]:
+        transformed = [transform(p) for p in polyline]
+        for p0, p1 in zip(transformed[:-1], transformed[1:]):
+            distance = np.minimum(distance, _segment_distances(pixel_x, pixel_y, p0, p1))
+
+    # Soft-edged stroke: full intensity inside the stroke, Gaussian falloff
+    # just outside it (gives anti-aliased, MNIST-like grey levels).
+    falloff = thickness * 0.6
+    image = np.where(
+        distance <= thickness,
+        1.0,
+        np.exp(-((distance - thickness) ** 2) / (2.0 * falloff**2)),
+    )
+    image = 255.0 * image
+    if noise_amplitude > 0:
+        generator = ensure_rng(rng, name="digit_noise")
+        image = image + generator.normal(0.0, noise_amplitude, image.shape)
+    return np.clip(image, 0.0, 255.0)
+
+
+@dataclass
+class SyntheticDigits:
+    """A reproducible synthetic digit dataset.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of images to generate (classes are balanced by cycling
+        through 0-9).
+    size:
+        Image side length in pixels.
+    jitter:
+        If True, apply per-sample geometric jitter and pixel noise.
+    seed:
+        Seed for the jitter stream (the dataset is deterministic given the
+        seed).
+    """
+
+    n_samples: int = 1000
+    size: int = 28
+    jitter: bool = True
+    seed: SeedLike = 0
+    max_rotation_deg: float = 12.0
+    max_shift: float = 0.06
+    scale_range: Tuple[float, float] = (0.9, 1.1)
+    thickness_range: Tuple[float, float] = (0.03, 0.05)
+    noise_amplitude: float = 8.0
+    images: np.ndarray = field(init=False, repr=False)
+    labels: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_samples, "n_samples")
+        check_positive(self.size, "size")
+        rng = ensure_rng(self.seed, name="synthetic_digits")
+        images = np.zeros((self.n_samples, self.size, self.size))
+        labels = np.zeros(self.n_samples, dtype=int)
+        # Balanced, shuffled class sequence.
+        classes = np.tile(np.arange(10), self.n_samples // 10 + 1)[: self.n_samples]
+        rng.shuffle(classes)
+        for i, digit in enumerate(classes):
+            if self.jitter:
+                rotation = rng.generator.uniform(-self.max_rotation_deg, self.max_rotation_deg)
+                shift = tuple(rng.generator.uniform(-self.max_shift, self.max_shift, 2))
+                scale = rng.generator.uniform(*self.scale_range)
+                thickness = rng.generator.uniform(*self.thickness_range)
+                noise = self.noise_amplitude
+            else:
+                rotation, shift, scale = 0.0, (0.0, 0.0), 1.0
+                thickness, noise = 0.055, 0.0
+            images[i] = render_digit(
+                int(digit),
+                size=self.size,
+                thickness=thickness,
+                rotation_deg=rotation,
+                scale=scale,
+                shift=shift,
+                noise_amplitude=noise,
+                rng=rng,
+            )
+            labels[i] = digit
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def flattened(self) -> np.ndarray:
+        """Images flattened to ``(n_samples, size*size)``."""
+        return self.images.reshape(self.n_samples, -1)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=10)

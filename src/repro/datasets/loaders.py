@@ -1,0 +1,64 @@
+"""Batching and splitting helpers for the synthetic digit dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction, check_positive
+
+
+def train_test_split(
+    images: np.ndarray,
+    labels: np.ndarray,
+    *,
+    test_fraction: float = 0.2,
+    rng: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a dataset into train and test portions.
+
+    Returns ``(train_images, train_labels, test_images, test_labels)``.
+    """
+    check_fraction(test_fraction, "test_fraction")
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if len(images) != len(labels):
+        raise ValueError("images and labels must have the same length")
+    generator = ensure_rng(rng, name="train_test_split")
+    order = generator.permutation(len(images))
+    n_test = int(round(test_fraction * len(images)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return images[train_idx], labels[train_idx], images[test_idx], labels[test_idx]
+
+
+@dataclass
+class DataLoader:
+    """A minimal shuffled batch iterator over (image, label) pairs."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    batch_size: int = 32
+    shuffle: bool = True
+    rng: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images)
+        self.labels = np.asarray(self.labels)
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have the same length")
+        check_positive(self.batch_size, "batch_size")
+        self._rng = ensure_rng(self.rng, name="data_loader")
+
+    def __len__(self) -> int:
+        return (len(self.images) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.images))
+        if self.shuffle:
+            order = self._rng.permutation(order)
+        for start in range(0, len(order), self.batch_size):
+            batch = order[start : start + self.batch_size]
+            yield self.images[batch], self.labels[batch]

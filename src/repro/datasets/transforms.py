@@ -1,0 +1,32 @@
+"""Simple image transforms used before spike encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def intensity_scale(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale pixel intensities by ``factor`` and clip to [0, 255].
+
+    Diehl & Cook increase the input intensity when an example elicits too few
+    excitatory spikes; the experiment pipeline uses this transform for that
+    retry mechanism.
+    """
+    check_positive(factor, "factor")
+    return np.clip(np.asarray(image, dtype=float) * factor, 0.0, 255.0)
+
+
+def normalize_unit(image: np.ndarray) -> np.ndarray:
+    """Normalise an image to [0, 1] by its own maximum (zero images pass through)."""
+    image = np.asarray(image, dtype=float)
+    maximum = image.max()
+    if maximum <= 0:
+        return np.zeros_like(image)
+    return image / maximum
+
+
+def threshold_binarize(image: np.ndarray, threshold: float = 127.5) -> np.ndarray:
+    """Binarise an image at ``threshold`` (useful for quick dataset sanity checks)."""
+    return (np.asarray(image, dtype=float) >= threshold).astype(float) * 255.0

@@ -1,0 +1,34 @@
+"""Countermeasures against power-oriented fault injection (paper Sec. V).
+
+* :mod:`repro.defenses.robust_driver` — the op-amp regulated current driver
+  that keeps the input spike amplitude constant (Fig. 9b).
+* :mod:`repro.defenses.bandgap_threshold` — bandgap-referenced threshold for
+  the I&F neuron (Sec. V-B-1).
+* :mod:`repro.defenses.sizing` — transistor up-sizing of the Axon-Hillock
+  first inverter to desensitise its switching threshold (Fig. 9c).
+* :mod:`repro.defenses.comparator_neuron` — replacing the first inverter with
+  a reference-biased comparator (Fig. 10a).
+* :mod:`repro.defenses.dummy_detector` — the dummy-neuron VFI detector
+  (Fig. 10b/10c).
+* :mod:`repro.defenses.overhead` — area/power overhead accounting for every
+  defense.
+"""
+
+from repro.defenses.robust_driver import RobustDriverDefense
+from repro.defenses.bandgap_threshold import BandgapThresholdDefense
+from repro.defenses.sizing import SizingDefense, SizingSweepPoint
+from repro.defenses.comparator_neuron import ComparatorNeuronDefense
+from repro.defenses.dummy_detector import DetectionOutcome, DummyNeuronDetector
+from repro.defenses.overhead import DefenseOverhead, overhead_report
+
+__all__ = [
+    "RobustDriverDefense",
+    "BandgapThresholdDefense",
+    "SizingDefense",
+    "SizingSweepPoint",
+    "ComparatorNeuronDefense",
+    "DummyNeuronDetector",
+    "DetectionOutcome",
+    "DefenseOverhead",
+    "overhead_report",
+]

@@ -1,0 +1,106 @@
+"""Transistor-sizing defense for the Axon-Hillock neuron (paper Fig. 9c).
+
+The membrane threshold of the Axon-Hillock neuron is the switching threshold
+of its first inverter, which is set by VDD and the pull-up/pull-down strength
+ratio.  Sizing the inverter so that one device dominates anchors the
+switching point to that device's (VDD-independent) threshold voltage and
+shrinks the attack-induced threshold change — the paper reports −5.23 %
+residual change at 0.8 V for a 32:1 device (vs −18 % for baseline sizing) at
+a 25 % power overhead.
+
+Modelling note (see DESIGN.md): with the square-law inverter model used here
+the switching point is anchored by *strengthening the pull-down (NMOS)*
+device, whereas the paper describes up-sizing the PMOS ``MP1``.  The defense
+object therefore exposes ``upsized_device`` and defaults to the device that
+actually anchors the threshold in this model; the figure-level claim —
+up-sizing one inverter device by ~32x cuts the low-VDD threshold change from
+≈−15…−18 % to a few percent — is reproduced either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.neurons.axon_hillock import AxonHillockModel
+from repro.utils.validation import check_in_choices, check_positive
+
+
+@dataclass
+class SizingSweepPoint:
+    """Threshold sensitivity for one up-sizing factor."""
+
+    sizing_factor: float
+    nominal_threshold: float
+    threshold_at_vdd: float
+    threshold_change: float
+
+    def as_row(self) -> tuple:
+        """(factor, nominal, attacked, change) row for reporting."""
+        return (
+            self.sizing_factor,
+            round(self.nominal_threshold, 4),
+            round(self.threshold_at_vdd, 4),
+            round(self.threshold_change, 4),
+        )
+
+
+@dataclass
+class SizingDefense:
+    """Sweeps the first-inverter device up-sizing factor (paper Fig. 9c)."""
+
+    neuron: AxonHillockModel = field(default_factory=AxonHillockModel)
+    upsized_device: str = "nmos"
+    #: Power overhead of the up-sized neuron (paper: 25 %).
+    power_overhead: float = 0.25
+    #: Area overhead is negligible: the two 1 pF capacitors dominate.
+    area_overhead: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.upsized_device, "upsized_device", ("nmos", "pmos"))
+        check_positive(self.power_overhead, "power_overhead")
+
+    def _resized(self, factor: float) -> AxonHillockModel:
+        check_positive(factor, "factor")
+        if self.upsized_device == "nmos":
+            return AxonHillockModel(
+                nmos_aspect_ratio=self.neuron.nmos_aspect_ratio * factor,
+                pmos_aspect_ratio=self.neuron.pmos_aspect_ratio,
+                nominal_vdd=self.neuron.nominal_vdd,
+            )
+        return AxonHillockModel(
+            nmos_aspect_ratio=self.neuron.nmos_aspect_ratio,
+            pmos_aspect_ratio=self.neuron.pmos_aspect_ratio * factor,
+            nominal_vdd=self.neuron.nominal_vdd,
+        )
+
+    def threshold_change(self, sizing_factor: float, vdd: float) -> float:
+        """Fractional threshold change at ``vdd`` for a given up-sizing factor."""
+        resized = self._resized(sizing_factor)
+        return resized.threshold_change(vdd)
+
+    def sweep(
+        self,
+        sizing_factors: Sequence[float] = (1, 2, 4, 8, 16, 32),
+        *,
+        vdd: float = 0.8,
+    ) -> List[SizingSweepPoint]:
+        """Threshold sensitivity for each up-sizing factor (Fig. 9c series)."""
+        points: List[SizingSweepPoint] = []
+        for factor in sizing_factors:
+            resized = self._resized(float(factor))
+            nominal = resized.membrane_threshold(resized.nominal_vdd)
+            attacked = resized.membrane_threshold(vdd)
+            points.append(
+                SizingSweepPoint(
+                    sizing_factor=float(factor),
+                    nominal_threshold=nominal,
+                    threshold_at_vdd=attacked,
+                    threshold_change=(attacked - nominal) / nominal,
+                )
+            )
+        return points
+
+    def residual_threshold_scale(self, sizing_factor: float, vdd: float) -> float:
+        """Threshold scale factor that survives the defense (for pipeline runs)."""
+        return 1.0 + self.threshold_change(sizing_factor, vdd)

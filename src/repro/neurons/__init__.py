@@ -1,0 +1,45 @@
+"""Behavioural models of the paper's analog neurons and peripherals.
+
+The MNA netlists in :mod:`repro.circuits` are the ground truth, but the
+figure-level sensitivity sweeps (time-to-spike vs input amplitude, threshold
+vs VDD, ...) and the attack calibration need thousands of evaluations, so
+this package provides fast behavioural models of the same blocks:
+
+* :mod:`repro.neurons.driver` — current-mirror driver amplitude vs VDD
+  (closed form) and the regulated robust driver.
+* :mod:`repro.neurons.axon_hillock` — Axon-Hillock neuron: threshold from the
+  analytic inverter switching point, membrane integration, reset dynamics.
+* :mod:`repro.neurons.if_amplifier` — voltage-amplifier I&F neuron: explicit
+  divider-derived threshold, leak, refractory period.
+* :mod:`repro.neurons.metrics` — spike-timing metrics shared by both neurons.
+* :mod:`repro.neurons.calibration` — the VDD → (spike-amplitude scale,
+  threshold scale) maps consumed by :mod:`repro.attacks`.
+
+Every behavioural model exposes the same supply-voltage knob the attacks
+manipulate, and :mod:`tests` plus the ablation benchmark cross-check the
+behavioural sensitivities against the MNA circuit simulations.
+"""
+
+from repro.neurons.driver import CurrentDriverModel, RobustDriverModel
+from repro.neurons.axon_hillock import AxonHillockModel
+from repro.neurons.if_amplifier import IFAmplifierModel
+from repro.neurons.metrics import SpikeMetrics, relative_change
+from repro.neurons.calibration import (
+    VddSensitivity,
+    VddToParameterMap,
+    behavioural_parameter_map,
+    circuit_parameter_map,
+)
+
+__all__ = [
+    "CurrentDriverModel",
+    "RobustDriverModel",
+    "AxonHillockModel",
+    "IFAmplifierModel",
+    "SpikeMetrics",
+    "relative_change",
+    "VddSensitivity",
+    "VddToParameterMap",
+    "behavioural_parameter_map",
+    "circuit_parameter_map",
+]

@@ -1,0 +1,208 @@
+"""Behavioural model of the Axon-Hillock neuron.
+
+The model reproduces, in closed form plus a light event-driven loop, the
+properties of the circuit in :mod:`repro.circuits.axon_hillock` that matter
+for the attack analysis:
+
+* **Membrane threshold** — the switching threshold of the first inverter,
+  computed from the square-law expression
+  ``V_sw = (VDD - |V_tp| + V_tn * sqrt(r)) / (1 + sqrt(r))`` with
+  ``r = beta_n / beta_p``; it scales almost proportionally with VDD, which is
+  the vulnerability exploited by Attacks 2-5.
+* **Integration** — below threshold the output is low, so the input charges
+  ``C_mem + C_fb`` linearly.
+* **Firing and reset** — when the membrane crosses the threshold the output
+  fires; the reset path (bounded by the ``V_pw`` bias) discharges the
+  membrane back to ground at roughly constant current, after which the cycle
+  repeats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM, PMOS_65NM
+from repro.neurons.metrics import SpikeMetrics
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class AxonHillockModel:
+    """Event-driven behavioural Axon-Hillock neuron.
+
+    Parameters
+    ----------
+    membrane_capacitance, feedback_capacitance:
+        The two 1 pF capacitors of the paper's design.
+    vdd:
+        Supply voltage (the attack knob).
+    pmos_aspect_ratio, nmos_aspect_ratio:
+        W/L of the first inverter's devices; the sizing defense sweeps the
+        effective ratio.
+    reset_current:
+        Discharge current of the reset path when the output is high (set by
+        the ``V_pw`` bias in the circuit).
+    threshold_override:
+        When set, the membrane threshold is pinned to this value regardless
+        of VDD — used to model the comparator/bandgap defenses.
+    """
+
+    membrane_capacitance: float = 1e-12
+    feedback_capacitance: float = 1e-12
+    vdd: float = 1.0
+    pmos_aspect_ratio: float = 400e-9 / 65e-9
+    nmos_aspect_ratio: float = 520e-9 / 65e-9
+    reset_current: float = 550e-9
+    nmos_params: MOSFETParameters = NMOS_65NM
+    pmos_params: MOSFETParameters = PMOS_65NM
+    threshold_override: float | None = None
+    nominal_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.membrane_capacitance, "membrane_capacitance")
+        check_positive(self.feedback_capacitance, "feedback_capacitance")
+        check_positive(self.vdd, "vdd")
+        check_positive(self.pmos_aspect_ratio, "pmos_aspect_ratio")
+        check_positive(self.nmos_aspect_ratio, "nmos_aspect_ratio")
+        check_positive(self.reset_current, "reset_current")
+
+    # ------------------------------------------------------------- threshold
+    @property
+    def beta_ratio(self) -> float:
+        """``beta_n / beta_p`` of the first inverter."""
+        beta_n = self.nmos_params.kp * self.nmos_aspect_ratio
+        beta_p = self.pmos_params.kp * self.pmos_aspect_ratio
+        return beta_n / beta_p
+
+    def membrane_threshold(self, vdd: float | None = None) -> float:
+        """Membrane (inverter switching) threshold at supply ``vdd``.
+
+        Uses the standard square-law switching-point expression.  When both
+        devices are in saturation at the trip point this matches the MNA
+        extraction within a few millivolts (see the ablation benchmark).
+        """
+        if self.threshold_override is not None:
+            return self.threshold_override
+        vdd = self.vdd if vdd is None else vdd
+        root_r = math.sqrt(self.beta_ratio)
+        vtn = self.nmos_params.vth0
+        vtp = self.pmos_params.vth0
+        threshold = (vdd - vtp + vtn * root_r) / (1.0 + root_r)
+        # The switching point is physically confined between the device
+        # thresholds for very asymmetric sizing.
+        return float(min(max(threshold, vtn * 0.5), vdd))
+
+    def threshold_change(self, vdd: float) -> float:
+        """Fractional threshold change at ``vdd`` vs the nominal supply."""
+        nominal = self.membrane_threshold(self.nominal_vdd)
+        return (self.membrane_threshold(vdd) - nominal) / nominal
+
+    @property
+    def integration_capacitance(self) -> float:
+        """Capacitance charged by the input while the output is low."""
+        return self.membrane_capacitance + self.feedback_capacitance
+
+    # ------------------------------------------------------------- behaviour
+    def time_to_first_spike(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        vdd: float | None = None,
+    ) -> float:
+        """Time for the membrane to charge from rest to threshold.
+
+        ``duty_cycle`` is the fraction of time the input spike train is high
+        (the paper's 200 nA / 25 ns spikes at 40 MHz correspond to 0.5).
+        """
+        check_positive(input_amplitude, "input_amplitude")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        vdd = self.vdd if vdd is None else vdd
+        average_current = input_amplitude * duty_cycle
+        threshold = self.membrane_threshold(vdd)
+        return self.integration_capacitance * threshold / average_current
+
+    def reset_time(self, input_amplitude: float = 200e-9, *, duty_cycle: float = 0.5,
+                   vdd: float | None = None) -> float:
+        """Duration of the output pulse (membrane discharge back to rest)."""
+        vdd = self.vdd if vdd is None else vdd
+        average_current = input_amplitude * duty_cycle
+        net_discharge = self.reset_current - average_current
+        if net_discharge <= 0:
+            return math.inf
+        threshold = self.membrane_threshold(vdd)
+        return self.integration_capacitance * threshold / net_discharge
+
+    def inter_spike_interval(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        vdd: float | None = None,
+    ) -> float:
+        """Steady-state firing period (charge time plus reset time)."""
+        return self.time_to_first_spike(
+            input_amplitude, duty_cycle=duty_cycle, vdd=vdd
+        ) + self.reset_time(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+
+    def simulate(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        duration: float = 100e-6,
+        vdd: float | None = None,
+    ) -> SpikeMetrics:
+        """Event-driven simulation over ``duration`` seconds."""
+        charge = self.time_to_first_spike(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        reset = self.reset_time(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        spikes: List[float] = []
+        t = charge
+        while t <= duration:
+            spikes.append(t)
+            if not math.isfinite(reset):
+                break
+            t += reset + charge
+        return SpikeMetrics.from_spike_times(spikes)
+
+    def membrane_trajectory(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        duration: float = 40e-6,
+        points: int = 2000,
+        vdd: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Piecewise-linear (time, membrane, output) traces for plotting.
+
+        The output trace is a 0/VDD square wave that is high while the
+        membrane is being reset, mirroring paper Fig. 2c.
+        """
+        vdd = self.vdd if vdd is None else vdd
+        charge = self.time_to_first_spike(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        reset = self.reset_time(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        threshold = self.membrane_threshold(vdd)
+        time = np.linspace(0.0, duration, points)
+        membrane = np.zeros_like(time)
+        output = np.zeros_like(time)
+        period = charge + reset if math.isfinite(reset) else math.inf
+        for i, t in enumerate(time):
+            if not math.isfinite(period):
+                phase = t
+                membrane[i] = min(threshold * phase / charge, threshold)
+                output[i] = 0.0
+                continue
+            phase = t % period
+            if phase < charge:
+                membrane[i] = threshold * phase / charge
+                output[i] = 0.0
+            else:
+                membrane[i] = threshold * (1.0 - (phase - charge) / reset)
+                output[i] = vdd
+        return time, membrane, output

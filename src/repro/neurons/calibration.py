@@ -1,0 +1,202 @@
+"""VDD → network-parameter calibration.
+
+The bridge between the circuit tier and the SNN attack tier: supply-voltage
+manipulation changes two network-level parameters of the Diehl&Cook SNN,
+
+* ``theta_scale`` — the multiplicative change of the per-input-spike membrane
+  charge (set by the input driver's output amplitude, paper Sec. III-B), and
+* ``threshold_scale`` — the multiplicative change of the neuron membrane
+  threshold (set by the inverter switching point or the Vthr divider,
+  paper Sec. III-C).
+
+:func:`behavioural_parameter_map` derives both from the fast behavioural
+models; :func:`circuit_parameter_map` derives them from the MNA netlists
+(slower, used for cross-validation and the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.neurons.axon_hillock import AxonHillockModel
+from repro.neurons.driver import CurrentDriverModel
+from repro.neurons.if_amplifier import IFAmplifierModel
+from repro.utils.validation import check_in_choices, check_positive
+
+#: Neuron flavours implemented in the paper.
+NEURON_TYPES = ("axon_hillock", "if_amplifier")
+
+
+@dataclass
+class VddSensitivity:
+    """Sensitivity of one quantity to the supply voltage.
+
+    Stores the sampled (vdd, value) relation and exposes interpolation plus
+    fractional-change helpers.
+    """
+
+    name: str
+    vdd_values: np.ndarray
+    values: np.ndarray
+    nominal_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.vdd_values = np.asarray(self.vdd_values, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.vdd_values.shape != self.values.shape:
+            raise ValueError("vdd_values and values must have the same shape")
+        if len(self.vdd_values) < 2:
+            raise ValueError("a sensitivity needs at least two sample points")
+        if np.any(np.diff(self.vdd_values) <= 0):
+            raise ValueError("vdd_values must be strictly increasing")
+
+    def value_at(self, vdd: float) -> float:
+        """Interpolated value at ``vdd``."""
+        return float(np.interp(vdd, self.vdd_values, self.values))
+
+    @property
+    def nominal_value(self) -> float:
+        """Value at the nominal supply."""
+        return self.value_at(self.nominal_vdd)
+
+    def scale_at(self, vdd: float) -> float:
+        """Value at ``vdd`` relative to the nominal value."""
+        nominal = self.nominal_value
+        if nominal == 0:
+            raise ZeroDivisionError(f"{self.name}: nominal value is zero")
+        return self.value_at(vdd) / nominal
+
+    def fractional_change(self, vdd: float) -> float:
+        """``scale_at(vdd) - 1``."""
+        return self.scale_at(vdd) - 1.0
+
+
+@dataclass
+class VddToParameterMap:
+    """The (theta, threshold) corruption a given supply voltage induces.
+
+    Attributes
+    ----------
+    driver_amplitude:
+        Sensitivity of the input driver output amplitude to VDD.
+    thresholds:
+        Per-neuron-type sensitivity of the membrane threshold to VDD.
+    nominal_vdd:
+        The uncorrupted supply.
+    """
+
+    driver_amplitude: VddSensitivity
+    thresholds: Dict[str, VddSensitivity] = field(default_factory=dict)
+    nominal_vdd: float = 1.0
+
+    def theta_scale(self, vdd: float) -> float:
+        """Per-spike membrane-charge scale factor at supply ``vdd``."""
+        return self.driver_amplitude.scale_at(vdd)
+
+    def threshold_scale(self, vdd: float, neuron_type: str = "if_amplifier") -> float:
+        """Membrane-threshold scale factor at supply ``vdd``."""
+        check_in_choices(neuron_type, "neuron_type", self.thresholds.keys())
+        return self.thresholds[neuron_type].scale_at(vdd)
+
+    def threshold_change_percent(self, vdd: float, neuron_type: str) -> float:
+        """Threshold change in percent (positive = higher threshold)."""
+        return 100.0 * (self.threshold_scale(vdd, neuron_type) - 1.0)
+
+    def theta_change_percent(self, vdd: float) -> float:
+        """Driver-amplitude (theta) change in percent."""
+        return 100.0 * (self.theta_scale(vdd) - 1.0)
+
+    def available_neuron_types(self) -> Sequence[str]:
+        """Neuron types with a calibrated threshold sensitivity."""
+        return tuple(self.thresholds)
+
+
+def behavioural_parameter_map(
+    vdd_values: Sequence[float] = (0.8, 0.85, 0.9, 0.95, 1.0, 1.05, 1.1, 1.15, 1.2),
+    *,
+    driver: CurrentDriverModel | None = None,
+    axon_hillock: AxonHillockModel | None = None,
+    if_amplifier: IFAmplifierModel | None = None,
+    nominal_vdd: float = 1.0,
+) -> VddToParameterMap:
+    """Build the VDD → parameter map from the behavioural models."""
+    check_positive(nominal_vdd, "nominal_vdd")
+    vdd_values = np.asarray(sorted(vdd_values), dtype=float)
+    driver = driver or CurrentDriverModel(nominal_vdd=nominal_vdd)
+    axon_hillock = axon_hillock or AxonHillockModel(nominal_vdd=nominal_vdd)
+    if_amplifier = if_amplifier or IFAmplifierModel(nominal_vdd=nominal_vdd)
+
+    amplitude = VddSensitivity(
+        name="driver_amplitude",
+        vdd_values=vdd_values,
+        values=driver.amplitude_vs_vdd(vdd_values),
+        nominal_vdd=nominal_vdd,
+    )
+    thresholds = {
+        "axon_hillock": VddSensitivity(
+            name="axon_hillock_threshold",
+            vdd_values=vdd_values,
+            values=np.array([axon_hillock.membrane_threshold(v) for v in vdd_values]),
+            nominal_vdd=nominal_vdd,
+        ),
+        "if_amplifier": VddSensitivity(
+            name="if_amplifier_threshold",
+            vdd_values=vdd_values,
+            values=np.array([if_amplifier.membrane_threshold(v) for v in vdd_values]),
+            nominal_vdd=nominal_vdd,
+        ),
+    }
+    return VddToParameterMap(
+        driver_amplitude=amplitude, thresholds=thresholds, nominal_vdd=nominal_vdd
+    )
+
+
+def circuit_parameter_map(
+    vdd_values: Sequence[float] = (0.8, 0.9, 1.0, 1.1, 1.2),
+    *,
+    nominal_vdd: float = 1.0,
+    inverter_sizing=None,
+    driver_design=None,
+    threshold_divider_ratio: float = 0.5,
+) -> VddToParameterMap:
+    """Build the VDD → parameter map from the MNA circuit netlists.
+
+    This is the slow, ground-truth calibration path; it sweeps the actual
+    inverter and current-driver circuits.  The I&F threshold follows the
+    resistive divider exactly, as in the paper.
+    """
+    from repro.circuits.current_driver import output_current
+    from repro.circuits.inverter import switching_threshold
+
+    check_positive(nominal_vdd, "nominal_vdd")
+    vdd_values = np.asarray(sorted(vdd_values), dtype=float)
+    amplitude = VddSensitivity(
+        name="driver_amplitude",
+        vdd_values=vdd_values,
+        values=np.array(
+            [output_current(v, design=driver_design) for v in vdd_values]
+        ),
+        nominal_vdd=nominal_vdd,
+    )
+    ah_threshold = VddSensitivity(
+        name="axon_hillock_threshold",
+        vdd_values=vdd_values,
+        values=np.array(
+            [switching_threshold(v, sizing=inverter_sizing) for v in vdd_values]
+        ),
+        nominal_vdd=nominal_vdd,
+    )
+    if_threshold = VddSensitivity(
+        name="if_amplifier_threshold",
+        vdd_values=vdd_values,
+        values=vdd_values * threshold_divider_ratio,
+        nominal_vdd=nominal_vdd,
+    )
+    return VddToParameterMap(
+        driver_amplitude=amplitude,
+        thresholds={"axon_hillock": ah_threshold, "if_amplifier": if_threshold},
+        nominal_vdd=nominal_vdd,
+    )

@@ -1,0 +1,138 @@
+"""Behavioural models of the SNN input current drivers.
+
+:class:`CurrentDriverModel` captures the VDD dependence of the unprotected
+current-mirror driver (paper Fig. 5a/5b): the programming current is
+``(VDD - V_GS) / R1`` with ``V_GS`` weakly dependent on the current itself,
+so the spike amplitude moves super-linearly with the supply.
+
+:class:`RobustDriverModel` captures the regulated driver defense
+(paper Fig. 9b): the amplitude is ``V_ref / R1`` and only the residual
+reference drift couples VDD into the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analog.mosfet import MOSFETParameters, NMOS_65NM
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class CurrentDriverModel:
+    """Closed-form model of the resistor-programmed current-mirror driver.
+
+    Parameters
+    ----------
+    reference_resistance:
+        The programming resistor ``R1``.
+    mirror_aspect_ratio:
+        W/L of the mirror transistors.
+    nominal_vdd:
+        Supply at which the nominal amplitude is defined.
+    mosfet:
+        Transistor parameters of the mirror devices.
+    """
+
+    reference_resistance: float = 2.79e6
+    mirror_aspect_ratio: float = 1e-6 / 260e-9
+    nominal_vdd: float = 1.0
+    mosfet: MOSFETParameters = NMOS_65NM
+
+    def __post_init__(self) -> None:
+        check_positive(self.reference_resistance, "reference_resistance")
+        check_positive(self.mirror_aspect_ratio, "mirror_aspect_ratio")
+        check_positive(self.nominal_vdd, "nominal_vdd")
+
+    # ------------------------------------------------------------------ model
+    def _gate_source_voltage(self, current: float) -> float:
+        """V_GS of the diode-connected mirror device at ``current``."""
+        beta = self.mosfet.kp * self.mirror_aspect_ratio
+        overdrive = np.sqrt(max(2.0 * current / beta, 0.0))
+        return self.mosfet.vth0 + overdrive
+
+    def amplitude(self, vdd: float) -> float:
+        """Output spike amplitude (amperes) at supply ``vdd``.
+
+        Solves ``I = (VDD - V_GS(I)) / R1`` by fixed-point iteration; the
+        dependence of ``V_GS`` on ``I`` is weak, so a handful of iterations
+        converge to machine precision.
+        """
+        check_positive(vdd, "vdd")
+        current = max((vdd - self.mosfet.vth0) / self.reference_resistance, 1e-12)
+        for _ in range(60):
+            vgs = self._gate_source_voltage(current)
+            updated = max((vdd - vgs) / self.reference_resistance, 0.0)
+            if abs(updated - current) <= 1e-15 + 1e-9 * current:
+                current = updated
+                break
+            current = updated
+        return current
+
+    @property
+    def nominal_amplitude(self) -> float:
+        """Amplitude at the nominal supply."""
+        return self.amplitude(self.nominal_vdd)
+
+    def amplitude_scale(self, vdd: float) -> float:
+        """Amplitude at ``vdd`` relative to the nominal amplitude.
+
+        This is the quantity the attacks apply as a multiplicative corruption
+        of the per-spike membrane charge (``theta`` in the Diehl&Cook SNN).
+        """
+        return self.amplitude(vdd) / self.nominal_amplitude
+
+    def amplitude_vs_vdd(self, vdd_values) -> np.ndarray:
+        """Vectorised :meth:`amplitude` (paper Fig. 5b series)."""
+        return np.array([self.amplitude(float(v)) for v in vdd_values])
+
+
+@dataclass
+class RobustDriverModel:
+    """Behavioural model of the op-amp regulated driver defense.
+
+    The output is ``V_ref / R1``; VDD enters only through the residual
+    fractional drift of the reference per ±20 % of supply change
+    (``reference_sensitivity``) and through dropout when the supply falls
+    below the headroom limit.
+    """
+
+    reference_voltage: float = 0.52
+    programming_resistance: float = 2.6e6
+    nominal_vdd: float = 1.0
+    #: Fractional output change for a ±20 % VDD excursion.
+    reference_sensitivity: float = 0.002
+    #: Minimum supply for the regulation loop to have headroom.
+    dropout_supply: float = 0.65
+
+    def __post_init__(self) -> None:
+        check_positive(self.reference_voltage, "reference_voltage")
+        check_positive(self.programming_resistance, "programming_resistance")
+        check_positive(self.nominal_vdd, "nominal_vdd")
+        check_positive(self.dropout_supply, "dropout_supply")
+
+    @property
+    def nominal_amplitude(self) -> float:
+        """Regulated output amplitude."""
+        return self.reference_voltage / self.programming_resistance
+
+    def amplitude(self, vdd: float) -> float:
+        """Output amplitude at supply ``vdd``."""
+        check_positive(vdd, "vdd")
+        if vdd < self.dropout_supply:
+            # Below dropout the loop loses headroom and the output collapses
+            # with the supply, like the unprotected driver would.
+            return self.nominal_amplitude * vdd / self.dropout_supply
+        fractional_vdd = (vdd - self.nominal_vdd) / self.nominal_vdd
+        drift = self.reference_sensitivity * (fractional_vdd / 0.2)
+        return self.nominal_amplitude * (1.0 + drift)
+
+    def amplitude_scale(self, vdd: float) -> float:
+        """Amplitude relative to nominal (≈1 across the attack range)."""
+        return self.amplitude(vdd) / self.nominal_amplitude
+
+    def amplitude_vs_vdd(self, vdd_values) -> np.ndarray:
+        """Vectorised :meth:`amplitude`."""
+        return np.array([self.amplitude(float(v)) for v in vdd_values])

@@ -1,0 +1,205 @@
+"""Behavioural model of the voltage-amplifier I&F neuron.
+
+The model captures the three properties the attacks rely on (paper Fig. 2b,
+4, 5c, 6c):
+
+* the threshold ``V_thr`` is derived from VDD by a resistive divider, so it
+  scales linearly with the supply (unless the bandgap defense pins it);
+* the membrane integrates the input spikes on ``C_mem`` against a small leak
+  (the ``V_lk``-biased transistor), modelled as an ohmic conductance — the
+  leak makes the time-to-threshold super-linear in the threshold voltage,
+  which is why the paper's Fig. 6c slows down by more than the threshold
+  increase (+23.5 % for a +17 % threshold change);
+* after each spike the refractory capacitor ``C_k`` holds the membrane in
+  reset for a supply-independent refractory period, which *dilutes* the
+  sensitivity of the firing period to input-amplitude changes (the paper's
+  Fig. 5c shows the I&F neuron is roughly 4x less sensitive than the
+  Axon-Hillock neuron for this reason).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.neurons.metrics import SpikeMetrics
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class IFAmplifierModel:
+    """Behavioural voltage-amplifier I&F neuron.
+
+    Parameters
+    ----------
+    membrane_capacitance, refractory_capacitance:
+        The paper's 10 pF membrane and 20 pF refractory capacitors.
+    vdd:
+        Supply voltage (the attack knob).
+    threshold_divider_ratio:
+        ``V_thr / VDD`` of the threshold divider (0.5 nominally).
+    leak_conductance:
+        Ohmic approximation of the ``V_lk``-biased leak transistor.
+    refractory_period:
+        Supply-independent hold time set by the ``C_k`` discharge.
+    threshold_override:
+        When set, the threshold is pinned to this value regardless of VDD —
+        models the bandgap-referenced threshold defense.
+    """
+
+    membrane_capacitance: float = 10e-12
+    refractory_capacitance: float = 20e-12
+    vdd: float = 1.0
+    threshold_divider_ratio: float = 0.5
+    leak_conductance: float = 50e-9
+    refractory_period_seconds: float = 200e-6
+    threshold_override: float | None = None
+    nominal_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.membrane_capacitance, "membrane_capacitance")
+        check_positive(self.refractory_capacitance, "refractory_capacitance")
+        check_positive(self.vdd, "vdd")
+        check_positive(self.leak_conductance, "leak_conductance")
+        check_positive(self.refractory_period_seconds, "refractory_period_seconds")
+        if not 0.0 < self.threshold_divider_ratio < 1.0:
+            raise ValueError("threshold_divider_ratio must be in (0, 1)")
+
+    # ------------------------------------------------------------- threshold
+    def membrane_threshold(self, vdd: float | None = None) -> float:
+        """Threshold voltage at supply ``vdd`` (divider-derived)."""
+        if self.threshold_override is not None:
+            return self.threshold_override
+        vdd = self.vdd if vdd is None else vdd
+        return vdd * self.threshold_divider_ratio
+
+    def threshold_change(self, vdd: float) -> float:
+        """Fractional threshold change at ``vdd`` vs the nominal supply."""
+        nominal = self.membrane_threshold(self.nominal_vdd)
+        return (self.membrane_threshold(vdd) - nominal) / nominal
+
+    # ------------------------------------------------------------------ leak
+    def leak_current(self, membrane_voltage: float) -> float:
+        """Leak current drawn from the membrane at ``membrane_voltage``."""
+        return self.leak_conductance * membrane_voltage
+
+    # ------------------------------------------------------------- behaviour
+    def refractory_period(self) -> float:
+        """Supply-independent refractory period after each spike."""
+        return self.refractory_period_seconds
+
+    def integration_time(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        vdd: float | None = None,
+    ) -> float:
+        """Time for the membrane to integrate from rest to threshold.
+
+        With an average input current ``I`` and leak conductance ``g`` the
+        membrane follows ``V(t) = (I/g)(1 - exp(-g t / C))``; the threshold
+        crossing time is ``-(C/g) ln(1 - g V_thr / I)`` and is infinite when
+        the leak wins (``g V_thr >= I``).
+        """
+        check_positive(input_amplitude, "input_amplitude")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in (0, 1]")
+        vdd = self.vdd if vdd is None else vdd
+        average_current = input_amplitude * duty_cycle
+        threshold = self.membrane_threshold(vdd)
+        x = self.leak_conductance * threshold / average_current
+        if x >= 1.0:
+            return math.inf
+        return -(self.membrane_capacitance / self.leak_conductance) * math.log1p(-x)
+
+    def time_to_first_spike(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        vdd: float | None = None,
+    ) -> float:
+        """Time to the first output spike from rest (no refractory term).
+
+        This is the metric swept against VDD in paper Fig. 6c.
+        """
+        return self.integration_time(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+
+    def inter_spike_interval(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        vdd: float | None = None,
+    ) -> float:
+        """Steady-state firing period (integration plus refractory period).
+
+        The refractory term is independent of the input amplitude and of
+        VDD, which is what makes this neuron markedly less sensitive to
+        input-amplitude corruption than the Axon-Hillock neuron (Fig. 5c).
+        """
+        integration = self.integration_time(
+            input_amplitude, duty_cycle=duty_cycle, vdd=vdd
+        )
+        return integration + self.refractory_period()
+
+    def simulate(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        duration: float = 1e-3,
+        vdd: float | None = None,
+    ) -> SpikeMetrics:
+        """Event-driven simulation over ``duration`` seconds."""
+        first = self.time_to_first_spike(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        if not math.isfinite(first):
+            return SpikeMetrics.from_spike_times([])
+        period = self.inter_spike_interval(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        spikes: List[float] = []
+        t = first
+        while t <= duration:
+            spikes.append(t)
+            t += period
+        return SpikeMetrics.from_spike_times(spikes)
+
+    def membrane_trajectory(
+        self,
+        input_amplitude: float = 200e-9,
+        *,
+        duty_cycle: float = 0.5,
+        duration: float = 500e-6,
+        points: int = 2000,
+        vdd: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(time, membrane) trace mirroring paper Fig. 2d."""
+        vdd = self.vdd if vdd is None else vdd
+        threshold = self.membrane_threshold(vdd)
+        average_current = input_amplitude * duty_cycle
+        integration = self.integration_time(input_amplitude, duty_cycle=duty_cycle, vdd=vdd)
+        refractory = self.refractory_period()
+        time = np.linspace(0.0, duration, points)
+        membrane = np.zeros_like(time)
+        if not math.isfinite(integration):
+            # Leak-dominated: exponential saturation below threshold.
+            tau = self.membrane_capacitance / self.leak_conductance
+            membrane = (average_current / self.leak_conductance) * (
+                1.0 - np.exp(-time / tau)
+            )
+            return time, membrane
+        period = integration + refractory
+        tau = self.membrane_capacitance / self.leak_conductance
+        steady = average_current / self.leak_conductance
+        for i, t in enumerate(time):
+            phase = t % period
+            if phase < integration:
+                membrane[i] = steady * (1.0 - math.exp(-phase / tau))
+            else:
+                # Pulled up to VDD at the spike, then held at ground by the
+                # reset transistor for the refractory period.
+                membrane[i] = vdd if (phase - integration) < 0.02 * refractory else 0.0
+        return time, membrane

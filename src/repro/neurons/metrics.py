@@ -1,0 +1,73 @@
+"""Spike-timing metrics shared by the behavioural neuron models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def relative_change(value: float, reference: float) -> float:
+    """Fractional change of ``value`` with respect to ``reference``.
+
+    Positive means larger than the reference.  This is the quantity the
+    paper's sensitivity figures report (e.g. "time-to-spike becomes faster by
+    24.7 %" is a relative change of −0.247).
+    """
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero; relative change undefined")
+    return (value - reference) / reference
+
+
+@dataclass
+class SpikeMetrics:
+    """Summary of a neuron's spiking behaviour for one stimulus condition.
+
+    Attributes
+    ----------
+    time_to_first_spike:
+        Seconds from stimulus onset to the first output spike
+        (None if the neuron never fires).
+    inter_spike_interval:
+        Steady-state period between output spikes (None if fewer than two
+        spikes occur).
+    spike_times:
+        All spike times within the evaluated window.
+    """
+
+    time_to_first_spike: Optional[float]
+    inter_spike_interval: Optional[float]
+    spike_times: np.ndarray
+
+    @property
+    def spike_count(self) -> int:
+        """Number of spikes in the evaluated window."""
+        return int(len(self.spike_times))
+
+    @property
+    def spike_rate(self) -> float:
+        """Steady-state firing rate in Hz (0 if the neuron never cycles)."""
+        if self.inter_spike_interval is None or self.inter_spike_interval <= 0:
+            return 0.0
+        return 1.0 / self.inter_spike_interval
+
+    @classmethod
+    def from_spike_times(cls, spike_times: Sequence[float]) -> "SpikeMetrics":
+        """Build metrics from a list of spike times."""
+        times = np.asarray(spike_times, dtype=float)
+        first = float(times[0]) if len(times) else None
+        isi = float(np.mean(np.diff(times))) if len(times) >= 2 else None
+        return cls(time_to_first_spike=first, inter_spike_interval=isi, spike_times=times)
+
+    def time_to_spike_change(self, baseline: "SpikeMetrics") -> float:
+        """Relative change in time-to-first-spike versus a baseline condition."""
+        if self.time_to_first_spike is None or baseline.time_to_first_spike is None:
+            raise ValueError("both conditions must produce at least one spike")
+        return relative_change(self.time_to_first_spike, baseline.time_to_first_spike)
+
+    def rate_change(self, baseline: "SpikeMetrics") -> float:
+        """Relative change in steady-state firing rate versus a baseline."""
+        if baseline.spike_rate == 0:
+            raise ZeroDivisionError("baseline firing rate is zero")
+        return (self.spike_rate - baseline.spike_rate) / baseline.spike_rate

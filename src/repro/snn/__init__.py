@@ -1,0 +1,62 @@
+"""A compact NumPy spiking-neural-network framework.
+
+The paper builds its victim network with BindsNET (Diehl & Cook's
+unsupervised MNIST SNN).  This package reimplements the pieces that network
+needs, with the same update equations and defaults, so the attack experiments
+run without PyTorch:
+
+* :mod:`repro.snn.encoding` — Poisson / Bernoulli / regular-rate encoders.
+* :mod:`repro.snn.nodes` — input, LIF, adaptive-threshold (Diehl&Cook) and
+  current-based LIF node groups.  Thresholds and input gains are per-neuron
+  arrays, which is what lets the fault injector corrupt a *fraction* of a
+  layer.
+* :mod:`repro.snn.topology` — dense connections with weight clamping and
+  per-target normalisation.
+* :mod:`repro.snn.learning` — PostPre STDP (the Diehl&Cook rule), a
+  weight-dependent variant and a no-op rule.
+* :mod:`repro.snn.network` — the simulation engine and monitors.
+* :mod:`repro.snn.models` — the DiehlAndCook2015 three-layer architecture.
+* :mod:`repro.snn.evaluation` — neuron-to-class assignment and the
+  all-activity / proportion-weighting accuracy metrics.
+"""
+
+from repro.snn.encoding import bernoulli_encode, poisson_encode, regular_rate_encode
+from repro.snn.nodes import (
+    AdaptiveLIFNodes,
+    InputNodes,
+    LIFNodes,
+    Nodes,
+)
+from repro.snn.topology import Connection
+from repro.snn.learning import NoOp, PostPre, WeightDependentPostPre
+from repro.snn.network import Network, SpikeMonitor, StateMonitor
+from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters
+from repro.snn.evaluation import (
+    all_activity_prediction,
+    assign_labels,
+    classification_accuracy,
+    proportion_weighting_prediction,
+)
+
+__all__ = [
+    "bernoulli_encode",
+    "poisson_encode",
+    "regular_rate_encode",
+    "Nodes",
+    "InputNodes",
+    "LIFNodes",
+    "AdaptiveLIFNodes",
+    "Connection",
+    "NoOp",
+    "PostPre",
+    "WeightDependentPostPre",
+    "Network",
+    "SpikeMonitor",
+    "StateMonitor",
+    "DiehlAndCook2015",
+    "DiehlAndCookParameters",
+    "assign_labels",
+    "all_activity_prediction",
+    "proportion_weighting_prediction",
+    "classification_accuracy",
+]

@@ -1,0 +1,114 @@
+"""Label assignment and accuracy metrics for the unsupervised SNN.
+
+Diehl & Cook's network is trained without labels; classification works by
+assigning each excitatory neuron to the digit class for which it fired most
+during a labelled assignment pass, then predicting new examples from the
+per-class average activity ("all activity") or the per-class firing
+proportions ("proportion weighting").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def assign_labels(
+    spike_counts: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign each neuron to the class it responds to most strongly.
+
+    Parameters
+    ----------
+    spike_counts:
+        Array of shape ``(n_examples, n_neurons)`` with the excitatory spike
+        counts recorded while each example was presented.
+    labels:
+        Integer class label of each example, shape ``(n_examples,)``.
+    n_classes:
+        Total number of classes.
+
+    Returns
+    -------
+    assignments:
+        Class index per neuron, shape ``(n_neurons,)``.
+    rates:
+        Average response of each neuron to each class,
+        shape ``(n_classes, n_neurons)``.
+    """
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if spike_counts.ndim != 2:
+        raise ValueError("spike_counts must be 2-D (examples x neurons)")
+    if len(labels) != len(spike_counts):
+        raise ValueError("labels and spike_counts must have the same length")
+    check_positive(n_classes, "n_classes")
+
+    n_neurons = spike_counts.shape[1]
+    rates = np.zeros((n_classes, n_neurons))
+    for cls in range(n_classes):
+        mask = labels == cls
+        if mask.any():
+            rates[cls] = spike_counts[mask].mean(axis=0)
+    assignments = rates.argmax(axis=0)
+    return assignments, rates
+
+
+def all_activity_prediction(
+    spike_counts: np.ndarray,
+    assignments: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """Predict classes from the mean activity of each class's assigned neurons."""
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    assignments = np.asarray(assignments, dtype=int)
+    if spike_counts.ndim != 2:
+        raise ValueError("spike_counts must be 2-D (examples x neurons)")
+    n_examples = spike_counts.shape[0]
+    scores = np.zeros((n_examples, n_classes))
+    for cls in range(n_classes):
+        mask = assignments == cls
+        count = int(mask.sum())
+        if count:
+            scores[:, cls] = spike_counts[:, mask].sum(axis=1) / count
+    return scores.argmax(axis=1)
+
+
+def proportion_weighting_prediction(
+    spike_counts: np.ndarray,
+    assignments: np.ndarray,
+    class_rates: np.ndarray,
+    n_classes: int,
+) -> np.ndarray:
+    """Predict classes weighting each neuron's vote by its class selectivity."""
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    assignments = np.asarray(assignments, dtype=int)
+    class_rates = np.asarray(class_rates, dtype=float)
+    totals = class_rates.sum(axis=0)
+    totals[totals == 0] = 1.0
+    proportions = class_rates / totals  # (n_classes, n_neurons)
+    n_examples = spike_counts.shape[0]
+    scores = np.zeros((n_examples, n_classes))
+    for cls in range(n_classes):
+        mask = assignments == cls
+        count = int(mask.sum())
+        if count:
+            weighted = spike_counts[:, mask] * proportions[cls, mask][None, :]
+            scores[:, cls] = weighted.sum(axis=1) / count
+    return scores.argmax(axis=1)
+
+
+def classification_accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if len(labels) == 0:
+        raise ValueError("cannot compute accuracy over zero examples")
+    return float(np.mean(predictions == labels))

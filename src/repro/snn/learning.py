@@ -1,0 +1,86 @@
+"""Synaptic plasticity rules.
+
+The Diehl & Cook network trains its input→excitatory projection with a
+trace-based pair STDP rule ("PostPre" in BindsNET terms): a pre-synaptic
+spike depresses the synapse in proportion to the post-synaptic trace, a
+post-synaptic spike potentiates it in proportion to the pre-synaptic trace.
+The paper trains with ``nu = (0.0004, 0.0002)`` for pre- and post-synaptic
+events respectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class LearningRule:
+    """Base class for plasticity rules."""
+
+    def update(self, connection) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NoOp(LearningRule):
+    """A rule that leaves the weights untouched (used during evaluation)."""
+
+    def update(self, connection) -> None:
+        return None
+
+
+class PostPre(LearningRule):
+    """Pair-based STDP with pre-synaptic depression and post-synaptic potentiation.
+
+    Parameters
+    ----------
+    nu_pre:
+        Learning rate applied on pre-synaptic spikes (depression).
+    nu_post:
+        Learning rate applied on post-synaptic spikes (potentiation).
+    """
+
+    def __init__(self, nu_pre: float = 1e-4, nu_post: float = 1e-2) -> None:
+        self.nu_pre = check_positive(nu_pre, "nu_pre", strict=False)
+        self.nu_post = check_positive(nu_post, "nu_post", strict=False)
+
+    def update(self, connection) -> None:
+        source, target = connection.source, connection.target
+        # Depression: every pre-synaptic spike moves its outgoing weights
+        # towards zero in proportion to the recent post-synaptic activity.
+        if self.nu_pre and source.spikes.any():
+            connection.w[source.spikes, :] -= self.nu_pre * target.traces[None, :]
+        # Potentiation: every post-synaptic spike strengthens the synapses
+        # from recently active inputs.
+        if self.nu_post and target.spikes.any():
+            connection.w[:, target.spikes] += self.nu_post * source.traces[:, None]
+
+
+class WeightDependentPostPre(LearningRule):
+    """PostPre with soft weight bounds.
+
+    Potentiation is scaled by the remaining headroom ``(wmax - w)`` and
+    depression by the distance from the floor ``(w - wmin)``, which keeps
+    weights away from the hard clamp and is the variant Diehl & Cook describe
+    for their "weight dependence" experiments.
+    """
+
+    def __init__(self, nu_pre: float = 1e-4, nu_post: float = 1e-2) -> None:
+        self.nu_pre = check_positive(nu_pre, "nu_pre", strict=False)
+        self.nu_post = check_positive(nu_post, "nu_post", strict=False)
+
+    def update(self, connection) -> None:
+        source, target = connection.source, connection.target
+        wmin = connection.wmin if np.isfinite(connection.wmin) else 0.0
+        wmax = connection.wmax if np.isfinite(connection.wmax) else 1.0
+        span = max(wmax - wmin, 1e-12)
+        if self.nu_pre and source.spikes.any():
+            rows = connection.w[source.spikes, :]
+            connection.w[source.spikes, :] -= (
+                self.nu_pre * target.traces[None, :] * (rows - wmin) / span
+            )
+        if self.nu_post and target.spikes.any():
+            cols = connection.w[:, target.spikes]
+            connection.w[:, target.spikes] += (
+                self.nu_post * source.traces[:, None] * (wmax - cols) / span
+            )

@@ -1,0 +1,206 @@
+"""The SNN simulation engine and recording monitors."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.snn.nodes import InputNodes, Nodes
+from repro.snn.topology import Connection
+from repro.utils.validation import check_positive
+
+
+class SpikeMonitor:
+    """Records the spike raster of one layer."""
+
+    def __init__(self, layer_name: str) -> None:
+        self.layer_name = layer_name
+        self._records: List[np.ndarray] = []
+
+    def record(self, nodes: Nodes) -> None:
+        """Store a copy of the layer's current spikes."""
+        self._records.append(nodes.spikes.copy())
+
+    def get(self) -> np.ndarray:
+        """Spike raster of shape ``(time_steps, n_neurons)``."""
+        if not self._records:
+            return np.zeros((0, 0), dtype=bool)
+        return np.stack(self._records)
+
+    def spike_counts(self) -> np.ndarray:
+        """Total spikes per neuron over the recorded window."""
+        raster = self.get()
+        if raster.size == 0:
+            return np.zeros(0, dtype=int)
+        return raster.sum(axis=0)
+
+    def reset(self) -> None:
+        """Discard all recorded data."""
+        self._records.clear()
+
+
+class StateMonitor:
+    """Records an arbitrary state variable (e.g. ``v`` or ``theta``) of a layer."""
+
+    def __init__(self, layer_name: str, variable: str) -> None:
+        self.layer_name = layer_name
+        self.variable = variable
+        self._records: List[np.ndarray] = []
+
+    def record(self, nodes: Nodes) -> None:
+        """Store a copy of the monitored variable."""
+        value = getattr(nodes, self.variable)
+        self._records.append(np.array(value, dtype=float, copy=True))
+
+    def get(self) -> np.ndarray:
+        """Recorded trace of shape ``(time_steps, n_neurons)``."""
+        if not self._records:
+            return np.zeros((0, 0))
+        return np.stack(self._records)
+
+    def reset(self) -> None:
+        """Discard all recorded data."""
+        self._records.clear()
+
+
+class Network:
+    """A collection of node groups wired by connections.
+
+    The network is advanced synchronously: at every time step the input
+    layers receive their encoded spikes, every connection converts its
+    source's current spikes into post-synaptic drive, every non-input layer
+    integrates its total drive, and plasticity rules are applied.
+
+    Parameters
+    ----------
+    dt:
+        Simulation step in milliseconds (must match the node groups).
+    """
+
+    def __init__(self, dt: float = 1.0) -> None:
+        self.dt = check_positive(dt, "dt")
+        self.layers: Dict[str, Nodes] = {}
+        self.connections: Dict[Tuple[str, str], Connection] = {}
+        self.monitors: Dict[str, object] = {}
+        self.learning = True
+
+    # ------------------------------------------------------------ construction
+    def add_layer(self, name: str, nodes: Nodes) -> Nodes:
+        """Register a node group under ``name``."""
+        if name in self.layers:
+            raise ValueError(f"layer {name!r} already exists")
+        self.layers[name] = nodes
+        return nodes
+
+    def add_connection(self, source: str, target: str, connection: Connection) -> Connection:
+        """Register a connection from layer ``source`` to layer ``target``."""
+        for name in (source, target):
+            if name not in self.layers:
+                raise KeyError(f"unknown layer {name!r}")
+        if connection.source is not self.layers[source]:
+            raise ValueError("connection.source does not match the named source layer")
+        if connection.target is not self.layers[target]:
+            raise ValueError("connection.target does not match the named target layer")
+        self.connections[(source, target)] = connection
+        return connection
+
+    def add_monitor(self, name: str, monitor) -> object:
+        """Register a spike or state monitor."""
+        if monitor.layer_name not in self.layers:
+            raise KeyError(f"unknown layer {monitor.layer_name!r}")
+        self.monitors[name] = monitor
+        return monitor
+
+    # -------------------------------------------------------------- simulation
+    def set_learning(self, learning: bool) -> None:
+        """Globally enable or disable plasticity and threshold adaptation."""
+        self.learning = bool(learning)
+        for nodes in self.layers.values():
+            nodes.learning = self.learning
+
+    def run(
+        self,
+        inputs: Dict[str, np.ndarray],
+        time_steps: Optional[int] = None,
+    ) -> None:
+        """Advance the network.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from input-layer name to a boolean spike raster of shape
+            ``(time_steps, layer.n)``.
+        time_steps:
+            Number of steps to run (inferred from the inputs when omitted).
+        """
+        if time_steps is None:
+            if not inputs:
+                raise ValueError("time_steps must be given when there are no inputs")
+            time_steps = len(next(iter(inputs.values())))
+        for name, raster in inputs.items():
+            layer = self.layers.get(name)
+            if layer is None:
+                raise KeyError(f"unknown input layer {name!r}")
+            if not isinstance(layer, InputNodes):
+                raise TypeError(f"layer {name!r} is not an InputNodes group")
+            if raster.shape != (time_steps, layer.n):
+                raise ValueError(
+                    f"input raster for {name!r} must have shape "
+                    f"({time_steps}, {layer.n}), got {raster.shape}"
+                )
+
+        non_input_layers = [
+            (name, nodes)
+            for name, nodes in self.layers.items()
+            if not isinstance(nodes, InputNodes)
+        ]
+
+        for t in range(time_steps):
+            # 1. Present the encoded input spikes.
+            for name, raster in inputs.items():
+                input_layer = self.layers[name]
+                input_layer.set_spikes(raster[t])
+                input_layer.update_traces()
+
+            # 2. Accumulate synaptic drive from the current source spikes.
+            drive = {name: np.zeros(nodes.n) for name, nodes in non_input_layers}
+            for (source, target), connection in self.connections.items():
+                if target in drive:
+                    drive[target] += connection.compute()
+
+            # 3. Integrate and fire.
+            for name, nodes in non_input_layers:
+                nodes.step(drive[name])
+
+            # 4. Plasticity.
+            for connection in self.connections.values():
+                connection.update(learning=self.learning)
+
+            # 5. Recording.
+            for monitor in self.monitors.values():
+                monitor.record(self.layers[monitor.layer_name])
+
+    # ------------------------------------------------------------------- state
+    def reset_state_variables(self) -> None:
+        """Reset per-example dynamic state in every layer and monitor."""
+        for nodes in self.layers.values():
+            nodes.reset_state_variables()
+        for connection in self.connections.values():
+            connection.reset_state_variables()
+
+    def reset_monitors(self) -> None:
+        """Clear all monitor recordings."""
+        for monitor in self.monitors.values():
+            monitor.reset()
+
+    def normalize_connections(self) -> None:
+        """Apply per-target weight normalisation on every connection that has one."""
+        for connection in self.connections.values():
+            connection.normalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(layers={list(self.layers)}, "
+            f"connections={list(self.connections)})"
+        )

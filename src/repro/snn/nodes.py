@@ -1,0 +1,271 @@
+"""Node (neuron-layer) groups for the NumPy SNN framework.
+
+All node groups keep their state in per-neuron NumPy arrays.  Two details
+matter for the fault-injection experiments:
+
+* ``thresh`` is a **per-neuron** array derived from ``base_thresh`` and a
+  per-neuron ``threshold_scale`` — Attacks 2-5 corrupt the scale of a chosen
+  fraction of a layer.
+* ``input_gain`` is a per-neuron multiplier applied to the integrated
+  synaptic drive — Attack 1 (current-driver corruption) and Attack 5 scale
+  it, mirroring the paper's "voltage change in the neuron membrane for each
+  input spike" (their ``theta`` knob).
+
+Units follow BindsNET/Diehl&Cook: membrane potentials in millivolts, time in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class Nodes:
+    """Base class for a homogeneous group of neurons.
+
+    Parameters
+    ----------
+    n:
+        Number of neurons in the group.
+    dt:
+        Simulation step in milliseconds.
+    trace_tc:
+        Time constant (ms) of the exponential synaptic trace used by STDP.
+    """
+
+    def __init__(self, n: int, *, dt: float = 1.0, trace_tc: float = 20.0) -> None:
+        if n <= 0:
+            raise ValueError(f"a node group needs at least one neuron, got {n}")
+        self.n = int(n)
+        self.dt = check_positive(dt, "dt")
+        self.trace_tc = check_positive(trace_tc, "trace_tc")
+        self.trace_decay = math.exp(-self.dt / self.trace_tc)
+        self.spikes = np.zeros(self.n, dtype=bool)
+        self.traces = np.zeros(self.n, dtype=float)
+        self.input_gain = np.ones(self.n, dtype=float)
+        self.learning = True
+
+    # ----------------------------------------------------------------- stepping
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        """Advance the group by one time step given the summed synaptic drive."""
+        raise NotImplementedError
+
+    def update_traces(self) -> None:
+        """Decay the synaptic traces and set the trace of spiking neurons to 1."""
+        self.traces *= self.trace_decay
+        if self.spikes.any():
+            self.traces[self.spikes] = 1.0
+
+    def reset_state_variables(self) -> None:
+        """Reset all dynamic state (between presented examples)."""
+        self.spikes.fill(False)
+        self.traces.fill(0.0)
+
+    # ------------------------------------------------------------ attack knobs
+    def set_input_gain(self, scale: float, mask: Optional[np.ndarray] = None) -> None:
+        """Scale the synaptic drive of the neurons selected by ``mask``.
+
+        ``mask`` defaults to all neurons.  Calling with ``scale=1`` restores
+        the nominal gain for the selected neurons.
+        """
+        if mask is None:
+            self.input_gain[:] = scale
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.n,):
+                raise ValueError(f"mask must have shape ({self.n},), got {mask.shape}")
+            self.input_gain[mask] = scale
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class InputNodes(Nodes):
+    """A layer whose spikes are provided externally (the encoded image)."""
+
+    def set_spikes(self, spikes: np.ndarray) -> None:
+        """Set this step's spikes from the encoder output."""
+        spikes = np.asarray(spikes, dtype=bool).reshape(-1)
+        if spikes.shape != (self.n,):
+            raise ValueError(f"expected {self.n} input spikes, got {spikes.shape}")
+        self.spikes = spikes.copy()
+
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        """Input nodes ignore synaptic drive; spikes are set externally."""
+        return self.spikes
+
+
+#: Threshold-corruption conventions (see :class:`LIFNodes.thresh`).
+THRESHOLD_CONVENTIONS = ("signed_value", "rest_gap")
+
+
+class LIFNodes(Nodes):
+    """Leaky integrate-and-fire neurons (the Diehl&Cook inhibitory layer).
+
+    Parameters follow BindsNET's ``LIFNodes`` defaults for the inhibitory
+    population of ``DiehlAndCook2015``.
+
+    The ``threshold_convention`` controls how a multiplicative threshold
+    corruption (Attacks 2-5) is applied:
+
+    * ``"signed_value"`` (default) — the signed millivolt threshold is scaled
+      directly, ``thresh' = thresh * scale``.  Because Diehl&Cook thresholds
+      are negative, a "−20 % threshold change" *raises* the firing barrier.
+      This is how a BindsNET-level implementation that multiplies
+      ``v_thresh`` by ``(1 + change)`` behaves, and it is the convention that
+      reproduces the paper's Fig. 7b-9a accuracy trends (catastrophic
+      degradation for negative changes).
+    * ``"rest_gap"`` — the rest-to-threshold gap is scaled,
+      ``thresh' = rest + (thresh - rest) * scale``, which is the
+      physically-motivated mapping of an analog threshold-voltage change.
+      Kept for the convention ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        dt: float = 1.0,
+        thresh: float = -40.0,
+        rest: float = -60.0,
+        reset: float = -45.0,
+        tc_decay: float = 10.0,
+        refractory_period: float = 2.0,
+        trace_tc: float = 20.0,
+        threshold_convention: str = "signed_value",
+    ) -> None:
+        super().__init__(n, dt=dt, trace_tc=trace_tc)
+        if threshold_convention not in THRESHOLD_CONVENTIONS:
+            raise ValueError(
+                f"threshold_convention must be one of {THRESHOLD_CONVENTIONS}, "
+                f"got {threshold_convention!r}"
+            )
+        self.threshold_convention = threshold_convention
+        self.rest = float(rest)
+        self.reset = float(reset)
+        self.tc_decay = check_positive(tc_decay, "tc_decay")
+        self.decay = math.exp(-self.dt / self.tc_decay)
+        self.refractory_period = float(refractory_period)
+        #: Uncorrupted per-neuron firing threshold (mV).
+        self.base_thresh = np.full(self.n, float(thresh))
+        #: Per-neuron multiplicative corruption applied by the attacks.
+        self.threshold_scale = np.ones(self.n, dtype=float)
+        self.v = np.full(self.n, self.rest)
+        self.refractory_count = np.zeros(self.n, dtype=float)
+
+    # -------------------------------------------------------------- thresholds
+    @property
+    def thresh(self) -> np.ndarray:
+        """Effective per-neuron threshold including any attack corruption."""
+        if self.threshold_convention == "signed_value":
+            return self.base_thresh * self.threshold_scale
+        return self.rest + (self.base_thresh - self.rest) * self.threshold_scale
+
+    def set_threshold_scale(self, scale: float, mask: Optional[np.ndarray] = None) -> None:
+        """Scale the threshold-to-rest gap of the neurons selected by ``mask``."""
+        if scale <= 0:
+            raise ValueError(f"threshold scale must be positive, got {scale}")
+        if mask is None:
+            self.threshold_scale[:] = scale
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self.n,):
+                raise ValueError(f"mask must have shape ({self.n},), got {mask.shape}")
+            self.threshold_scale[mask] = scale
+
+    def clear_threshold_scale(self) -> None:
+        """Remove any threshold corruption."""
+        self.threshold_scale[:] = 1.0
+
+    # ----------------------------------------------------------------- dynamics
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        input_current = np.asarray(input_current, dtype=float).reshape(-1)
+        if input_current.shape != (self.n,):
+            raise ValueError(
+                f"expected drive of shape ({self.n},), got {input_current.shape}"
+            )
+        # Leak towards rest.
+        self.v = self.decay * (self.v - self.rest) + self.rest
+        # Integrate drive only outside the refractory period.
+        not_refractory = self.refractory_count <= 0
+        self.v = self.v + not_refractory * self.input_gain * input_current
+        self.refractory_count = np.maximum(self.refractory_count - self.dt, 0.0)
+        # Fire and reset.
+        self.spikes = self.v >= self.thresh
+        if self.spikes.any():
+            self.v[self.spikes] = self.reset
+            self.refractory_count[self.spikes] = self.refractory_period
+        self.update_traces()
+        return self.spikes
+
+    def reset_state_variables(self) -> None:
+        super().reset_state_variables()
+        self.v = np.full(self.n, self.rest)
+        self.refractory_count = np.zeros(self.n, dtype=float)
+
+
+class AdaptiveLIFNodes(LIFNodes):
+    """LIF neurons with an adaptive threshold (Diehl&Cook excitatory layer).
+
+    Every spike raises the neuron's individual threshold offset ``theta`` by
+    ``theta_plus``; the offset decays with a very long time constant.  This
+    homeostatic mechanism is what forces different excitatory neurons to
+    specialise to different digit classes.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        dt: float = 1.0,
+        thresh: float = -52.0,
+        rest: float = -65.0,
+        reset: float = -60.0,
+        tc_decay: float = 100.0,
+        refractory_period: float = 5.0,
+        theta_plus: float = 0.05,
+        tc_theta_decay: float = 1e7,
+        trace_tc: float = 20.0,
+        threshold_convention: str = "signed_value",
+    ) -> None:
+        super().__init__(
+            n,
+            dt=dt,
+            thresh=thresh,
+            rest=rest,
+            reset=reset,
+            tc_decay=tc_decay,
+            refractory_period=refractory_period,
+            trace_tc=trace_tc,
+            threshold_convention=threshold_convention,
+        )
+        self.theta_plus = float(theta_plus)
+        self.tc_theta_decay = check_positive(tc_theta_decay, "tc_theta_decay")
+        self.theta_decay = math.exp(-self.dt / self.tc_theta_decay)
+        #: Adaptive per-neuron threshold offset (homeostasis state).
+        self.theta = np.zeros(self.n, dtype=float)
+
+    @property
+    def thresh(self) -> np.ndarray:
+        """Effective threshold: corrupted base threshold plus adaptation."""
+        return super().thresh + self.theta
+
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        spikes = super().step(input_current)
+        if self.learning:
+            self.theta *= self.theta_decay
+            if spikes.any():
+                self.theta[spikes] += self.theta_plus
+        return spikes
+
+    def reset_state_variables(self) -> None:
+        """Reset membrane state between examples; adaptation (theta) persists."""
+        super().reset_state_variables()

@@ -1,0 +1,115 @@
+"""Synaptic connections between node groups."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.nodes import Nodes
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class Connection:
+    """A dense all-to-all connection with optional learning and normalisation.
+
+    Parameters
+    ----------
+    source, target:
+        The pre- and post-synaptic node groups.
+    w:
+        Initial weight matrix of shape ``(source.n, target.n)``.  When
+        omitted, weights are drawn uniformly from ``[0, 0.3]``.
+    wmin, wmax:
+        Hard clamp applied after every plasticity update.
+    norm:
+        When set, :meth:`normalize` rescales each post-synaptic neuron's
+        total incoming weight to this value (Diehl&Cook uses 78.4 for the
+        input→excitatory projection).
+    update_rule:
+        A learning rule from :mod:`repro.snn.learning` (None disables
+        plasticity).
+    """
+
+    def __init__(
+        self,
+        source: Nodes,
+        target: Nodes,
+        *,
+        w: Optional[np.ndarray] = None,
+        wmin: float = -np.inf,
+        wmax: float = np.inf,
+        norm: Optional[float] = None,
+        update_rule=None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.source = source
+        self.target = target
+        if wmin > wmax:
+            raise ValueError(f"wmin ({wmin}) must not exceed wmax ({wmax})")
+        self.wmin = float(wmin)
+        self.wmax = float(wmax)
+        self.norm = norm
+        self.update_rule = update_rule
+        if w is None:
+            generator = ensure_rng(rng, name="connection_init")
+            w = 0.3 * generator.random((source.n, target.n))
+        w = np.asarray(w, dtype=float)
+        if w.shape != (source.n, target.n):
+            raise ValueError(
+                f"weight matrix must have shape ({source.n}, {target.n}), got {w.shape}"
+            )
+        self.w = np.clip(w, self.wmin, self.wmax)
+
+    # ----------------------------------------------------------------- running
+    def compute(self) -> np.ndarray:
+        """Post-synaptic drive produced by the source's current spikes."""
+        if not self.source.spikes.any():
+            return np.zeros(self.target.n)
+        # Summing the rows of active pre-synaptic neurons is much cheaper
+        # than a full matrix product when spiking is sparse.
+        return self.w[self.source.spikes].sum(axis=0)
+
+    def update(self, *, learning: bool = True) -> None:
+        """Apply one step of the plasticity rule (if any)."""
+        if learning and self.update_rule is not None:
+            self.update_rule.update(self)
+            self.clamp()
+
+    def clamp(self) -> None:
+        """Clip weights into [wmin, wmax] in place."""
+        np.clip(self.w, self.wmin, self.wmax, out=self.w)
+
+    def normalize(self) -> None:
+        """Rescale each target neuron's total incoming weight to ``norm``."""
+        if self.norm is None:
+            return
+        totals = self.w.sum(axis=0)
+        totals[totals == 0] = 1.0
+        self.w *= self.norm / totals
+
+    def reset_state_variables(self) -> None:
+        """Connections hold no per-example state; provided for symmetry."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Connection({self.source.n}→{self.target.n}, "
+            f"rule={type(self.update_rule).__name__ if self.update_rule else None})"
+        )
+
+
+def one_to_one_weights(n: int, value: float) -> np.ndarray:
+    """Diagonal weight matrix used for the excitatory→inhibitory projection."""
+    return np.diag(np.full(n, float(value)))
+
+
+def lateral_inhibition_weights(n: int, value: float) -> np.ndarray:
+    """All-to-all-except-self weights for the inhibitory→excitatory projection.
+
+    ``value`` should be negative (inhibition); the diagonal is zero because
+    each inhibitory neuron does not inhibit the excitatory neuron it was
+    driven by (Diehl&Cook's winner-take-all wiring).
+    """
+    w = np.full((n, n), float(value))
+    np.fill_diagonal(w, 0.0)
+    return w

@@ -1,0 +1,53 @@
+"""JSON-friendly serialisation of experiment results.
+
+Results produced by the attack pipeline mix NumPy scalars/arrays with plain
+Python containers and small dataclasses.  :func:`to_jsonable` converts such a
+structure into pure built-in types so it can be dumped with :mod:`json`, and
+:func:`save_json` / :func:`load_json` wrap file IO with the conversion
+applied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable built-ins."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialise object of type {type(obj).__name__}")
+
+
+def save_json(path: str | Path, obj: Any, *, indent: int = 2) -> Path:
+    """Serialise ``obj`` to JSON at ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=True)
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document previously written with :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,59 @@
+"""Uniform argument-validation helpers.
+
+The analog simulator and SNN framework have many numeric parameters whose
+physical validity matters (capacitances must be positive, fractions must lie
+in [0, 1], supply voltages must be within the modelled range).  Centralising
+the checks keeps the error messages consistent and the call sites short.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (strictly, by default)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` is a fraction in [0, 1]."""
+    return check_range(value, name, 0.0, 1.0)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` with probability phrasing."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_choices(value, name: str, choices: Iterable):
+    """Validate that ``value`` is one of ``choices``."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices!r}, got {value!r}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )

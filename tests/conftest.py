@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (trained pipelines) are session-scoped so the
+integration tests reuse one smoke-scale training run instead of repeating
+it per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClassificationPipeline, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def smoke_config() -> ExperimentConfig:
+    """The tiny experiment scale used by integration tests."""
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="session")
+def smoke_pipeline(smoke_config) -> ClassificationPipeline:
+    """A pipeline at smoke scale (dataset generated once per session)."""
+    return ClassificationPipeline(smoke_config)
+
+
+@pytest.fixture(scope="session")
+def smoke_baseline(smoke_pipeline):
+    """The attack-free smoke-scale result (trains one network)."""
+    return smoke_pipeline.run_baseline()

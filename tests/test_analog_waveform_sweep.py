@@ -1,0 +1,114 @@
+"""Tests for waveform post-processing and the sweep driver."""
+
+import numpy as np
+import pytest
+
+from repro.analog.sweep import ParameterSweep
+from repro.analog.waveform import Waveform, detect_spikes, threshold_crossings
+
+
+def sawtooth_waveform(n_teeth=3, period=1.0, amplitude=1.0, points_per_tooth=100):
+    time = np.linspace(0, n_teeth * period, n_teeth * points_per_tooth, endpoint=False)
+    values = amplitude * (time % period) / period
+    return Waveform(time, values, name="sawtooth")
+
+
+class TestWaveform:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(3), np.arange(4))
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 0.0, 1.0]), np.zeros(3))
+
+    def test_summaries(self):
+        wave = Waveform(np.linspace(0, 1, 11), np.linspace(0, 1, 11))
+        assert wave.maximum() == 1.0
+        assert wave.minimum() == 0.0
+        assert wave.peak_to_peak() == 1.0
+        assert wave.mean() == pytest.approx(0.5, abs=1e-6)
+        assert wave.duration == pytest.approx(1.0)
+        assert wave.value_at(0.25) == pytest.approx(0.25)
+
+    def test_slice(self):
+        wave = sawtooth_waveform()
+        sliced = wave.slice(1.0, 2.0)
+        assert sliced.time[0] >= 1.0 and sliced.time[-1] <= 2.0
+
+    def test_rising_crossings_interpolated(self):
+        time = np.array([0.0, 1.0, 2.0, 3.0])
+        values = np.array([0.0, 1.0, 0.0, 1.0])
+        crossings = threshold_crossings(time, values, 0.5, direction="rising")
+        assert crossings == pytest.approx([0.5, 2.5])
+
+    def test_falling_and_both_crossings(self):
+        time = np.array([0.0, 1.0, 2.0])
+        values = np.array([1.0, 0.0, 1.0])
+        falling = threshold_crossings(time, values, 0.5, direction="falling")
+        both = threshold_crossings(time, values, 0.5, direction="both")
+        assert len(falling) == 1 and len(both) == 2
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            threshold_crossings([0, 1], [0, 1], 0.5, direction="sideways")
+
+    def test_spike_detection_counts_teeth(self):
+        wave = sawtooth_waveform(n_teeth=5)
+        assert wave.spike_count(0.5) == 5
+
+    def test_spike_rate_and_isi(self):
+        wave = sawtooth_waveform(n_teeth=4, period=2.0)
+        assert wave.spike_rate(0.5) == pytest.approx(0.5, rel=0.05)
+        isi = wave.inter_spike_intervals(0.5)
+        assert np.allclose(isi, 2.0, atol=0.05)
+
+    def test_min_separation_merges_chatter(self):
+        time = np.linspace(0, 1, 1000)
+        noisy = (np.sin(2 * np.pi * 3 * time) > 0).astype(float)
+        noisy[500] = 0.0  # brief dropout creates an extra crossing
+        merged = detect_spikes(time, noisy, 0.5, min_separation=0.2)
+        raw = detect_spikes(time, noisy, 0.5)
+        assert len(merged) <= len(raw)
+        assert len(merged) == 3
+
+    def test_time_to_first_crossing_none_when_never(self):
+        wave = Waveform(np.linspace(0, 1, 10), np.zeros(10))
+        assert wave.time_to_first_crossing(0.5) is None
+
+    def test_rise_time_positive(self):
+        time = np.linspace(0, 1, 101)
+        wave = Waveform(time, np.clip(time * 2, 0, 1))
+        rise = wave.rise_time()
+        assert rise is not None and 0.3 < rise < 0.5
+
+
+class TestParameterSweep:
+    def test_collects_metrics(self):
+        sweep = ParameterSweep("x", [1.0, 2.0, 3.0], lambda x: {"square": x * x, "double": 2 * x})
+        result = sweep.run()
+        assert np.allclose(result.metric("square"), [1, 4, 9])
+        assert result.header() == ["x", "square", "double"]
+        assert len(result.as_rows()) == 3
+
+    def test_relative_change(self):
+        sweep = ParameterSweep("x", [1.0, 2.0], lambda x: {"y": 10 * x})
+        result = sweep.run()
+        change = result.relative_change("y", reference_value=1.0)
+        assert change == pytest.approx([0.0, 1.0])
+
+    def test_metric_at_interpolates(self):
+        result = ParameterSweep("x", [0.0, 1.0], lambda x: {"y": x}).run()
+        assert result.metric_at("y", 0.5) == pytest.approx(0.5)
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError):
+            ParameterSweep("x", [], lambda x: {"y": x})
+
+    def test_rejects_inconsistent_metric_names(self):
+        calls = {"n": 0}
+
+        def evaluate(x):
+            calls["n"] += 1
+            return {"a": x} if calls["n"] == 1 else {"b": x}
+
+        with pytest.raises(ValueError):
+            ParameterSweep("x", [1.0, 2.0], evaluate).run()

@@ -1,0 +1,150 @@
+"""Tests for the circuit library (paper Figs. 2, 5a, 9b, 10a).
+
+These tests exercise the MNA netlists; transient runs use short durations so
+the whole module stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    AxonHillockDesign,
+    CurrentDriverDesign,
+    IFNeuronDesign,
+    InverterSizing,
+    amplitude_vs_vdd,
+    build_current_driver,
+    build_inverter,
+    output_current,
+    switching_threshold,
+    threshold_vs_vdd,
+    trip_point,
+)
+from repro.circuits import robust_driver as robust
+from repro.circuits.axon_hillock import simulate_axon_hillock
+from repro.circuits.bandgap import BandgapReferenceModel, diode_reference_voltage
+from repro.circuits.if_neuron import build_if_neuron
+from repro.circuits.ota import build_ota_testbench
+from repro.analog import dc_sweep
+
+
+class TestInverter:
+    def test_nominal_threshold_near_half_vdd(self):
+        threshold = switching_threshold(1.0)
+        assert threshold == pytest.approx(0.5, abs=0.02)
+
+    def test_threshold_tracks_vdd(self):
+        thresholds = threshold_vs_vdd([0.8, 1.0, 1.2])
+        changes = (thresholds - thresholds[1]) / thresholds[1]
+        # Paper Fig. 6a: roughly -18 % at 0.8 V and +17 % at 1.2 V.
+        assert -0.22 < changes[0] < -0.12
+        assert 0.12 < changes[2] < 0.22
+
+    def test_sizing_shifts_threshold(self):
+        weak_pulldown = switching_threshold(1.0, sizing=InverterSizing(nmos_width=200e-9))
+        strong_pulldown = switching_threshold(1.0, sizing=InverterSizing(nmos_width=2e-6))
+        assert weak_pulldown > strong_pulldown
+
+    def test_inverter_sizing_helpers(self):
+        sizing = InverterSizing()
+        assert sizing.scaled_nmos(2.0).nmos_width == pytest.approx(2 * sizing.nmos_width)
+        assert sizing.scaled_pmos(3.0).pmos_width == pytest.approx(3 * sizing.pmos_width)
+
+    def test_build_inverter_has_expected_devices(self):
+        circuit = build_inverter()
+        assert "INV.MP" in circuit and "INV.MN" in circuit
+
+
+class TestCurrentDriver:
+    def test_nominal_amplitude_near_200na(self):
+        assert output_current(1.0) == pytest.approx(200e-9, rel=0.05)
+
+    def test_amplitude_superlinear_in_vdd(self):
+        amplitudes = amplitude_vs_vdd([0.8, 1.0, 1.2])
+        low_change = (amplitudes[0] - amplitudes[1]) / amplitudes[1]
+        high_change = (amplitudes[2] - amplitudes[1]) / amplitudes[1]
+        # Paper Fig. 5b: -32 % and +32 % for a +/-20 % VDD change.
+        assert -0.40 < low_change < -0.25
+        assert 0.25 < high_change < 0.40
+
+    def test_switch_gates_the_output(self):
+        closed = build_current_driver(1.0, ctrl_source=1.0)
+        opened = build_current_driver(1.0, ctrl_source=0.0)
+        from repro.analog import dc_operating_point
+
+        i_on = abs(dc_operating_point(closed).current("VLOAD"))
+        i_off = abs(dc_operating_point(opened).current("VLOAD"))
+        assert i_on > 50 * max(i_off, 1e-12)
+
+    def test_design_validation(self):
+        with pytest.raises(ValueError):
+            CurrentDriverDesign(reference_resistance=-1.0)
+
+
+class TestRobustDriver:
+    def test_output_flat_across_vdd(self):
+        amplitudes = robust.amplitude_vs_vdd([0.8, 1.0, 1.2])
+        spread = (amplitudes.max() - amplitudes.min()) / amplitudes.mean()
+        assert spread < 0.02
+
+    def test_output_matches_vref_over_r(self):
+        design = robust.RobustDriverDesign()
+        measured = robust.output_current(1.0, design=design)
+        assert measured == pytest.approx(design.nominal_current, rel=0.1)
+
+
+class TestOTAAndComparator:
+    def test_ota_output_follows_input_comparison(self):
+        circuit = build_ota_testbench(1.0, v_minus=0.5)
+        sweep = dc_sweep(circuit, "VINP", np.linspace(0.3, 0.7, 9))
+        vout = sweep.voltage("out")
+        assert vout[0] < 0.1 and vout[-1] > 0.9
+
+    def test_comparator_trip_point_tracks_reference_not_vdd(self):
+        trips = [trip_point(v) for v in (0.9, 1.0, 1.1)]
+        assert np.ptp(trips) < 0.02
+        assert trips[1] == pytest.approx(0.6, abs=0.05)
+
+
+class TestBandgap:
+    def test_diode_reference_weakly_depends_on_vdd(self):
+        low = diode_reference_voltage(0.8)
+        high = diode_reference_voltage(1.2)
+        assert abs(high - low) / low < 0.06
+
+    def test_behavioural_model_sensitivity(self):
+        model = BandgapReferenceModel(nominal_output=0.5)
+        assert model.output(1.0) == pytest.approx(0.5)
+        assert abs(model.output(0.8) / 0.5 - 1.0) <= 0.006
+        assert model.output(0.3) < 0.3  # dropout region collapses with supply
+
+    def test_behavioural_model_validation(self):
+        with pytest.raises(ValueError):
+            BandgapReferenceModel(fractional_sensitivity=1.5)
+
+
+class TestNeuronCircuits:
+    def test_axon_hillock_fires_and_resets(self):
+        # Smaller membrane capacitor keeps the transient short for CI.
+        design = AxonHillockDesign(
+            membrane_capacitance=0.1e-12, feedback_capacitance=0.1e-12
+        )
+        result = simulate_axon_hillock(design, stop_time="3u", time_step="5n")
+        vout = result.waveform("vout")
+        assert vout.spike_count(0.5, min_separation=100e-9) >= 1
+        assert result.waveform("vmem").maximum() > 0.4
+
+    def test_if_neuron_threshold_divider_follows_vdd(self):
+        design = IFNeuronDesign()
+        assert design.nominal_threshold == pytest.approx(0.5)
+        assert design.with_vdd(0.8).nominal_threshold == pytest.approx(0.4)
+
+    def test_if_neuron_circuit_contains_comparator_and_reset(self):
+        circuit = build_if_neuron()
+        for name in ("CMP.M_TAIL", "MN1", "MN4", "CK", "CMEM"):
+            assert name in circuit
+
+    def test_if_neuron_external_threshold_defense_wiring(self):
+        circuit = build_if_neuron(external_threshold=0.5)
+        assert "VTHR" in circuit
+        assert "RTHR_TOP" not in circuit

@@ -1,0 +1,161 @@
+"""Tests for the defense models (paper Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.defenses import (
+    BandgapThresholdDefense,
+    ComparatorNeuronDefense,
+    DummyNeuronDetector,
+    RobustDriverDefense,
+    SizingDefense,
+    overhead_report,
+)
+from repro.defenses.overhead import PAPER_OVERHEADS
+
+
+class TestRobustDriverDefense:
+    def test_residual_theta_change_is_tiny(self):
+        defense = RobustDriverDefense()
+        for vdd in (0.8, 0.9, 1.1, 1.2):
+            assert abs(defense.residual_theta_change(vdd)) < 0.01
+
+    def test_suppression_factor_large(self):
+        defense = RobustDriverDefense()
+        assert defense.suppression_factor(0.8) > 20.0
+
+    def test_undefended_change_matches_driver_model(self):
+        defense = RobustDriverDefense()
+        assert defense.undefended_theta_scale(0.8) == pytest.approx(0.65, abs=0.05)
+
+    def test_amplitude_vs_vdd_flat(self):
+        defense = RobustDriverDefense()
+        amplitudes = defense.amplitude_vs_vdd([0.8, 1.0, 1.2])
+        assert np.ptp(amplitudes) / amplitudes.mean() < 0.01
+
+    def test_overhead_matches_paper(self):
+        assert RobustDriverDefense().power_overhead == pytest.approx(0.03)
+
+
+class TestBandgapThresholdDefense:
+    def test_residual_threshold_change_within_reference_spec(self):
+        defense = BandgapThresholdDefense()
+        for vdd in (0.8, 1.2):
+            assert abs(defense.residual_threshold_change(vdd)) <= 0.006
+
+    def test_undefended_scale_tracks_divider(self):
+        defense = BandgapThresholdDefense()
+        assert defense.undefended_threshold_scale(0.8) == pytest.approx(0.8)
+
+    def test_area_overhead_amortises_with_network_size(self):
+        defense = BandgapThresholdDefense()
+        assert defense.area_overhead(200) == pytest.approx(0.65)
+        assert defense.area_overhead(2000) == pytest.approx(0.065)
+
+    def test_threshold_vs_vdd_flat(self):
+        defense = BandgapThresholdDefense()
+        thresholds = defense.threshold_vs_vdd([0.85, 1.0, 1.2])
+        assert np.ptp(thresholds) < 0.01
+
+
+class TestSizingDefense:
+    def test_upsizing_reduces_threshold_sensitivity(self):
+        defense = SizingDefense()
+        baseline_change = defense.threshold_change(1.0, vdd=0.8)
+        upsized_change = defense.threshold_change(32.0, vdd=0.8)
+        # Paper Fig. 9c: from about -18 % to about -5 % at 0.8 V.
+        assert baseline_change < -0.10
+        assert abs(upsized_change) < abs(baseline_change) / 2
+        assert abs(upsized_change) < 0.08
+
+    def test_sweep_is_monotone_in_sizing_factor(self):
+        defense = SizingDefense()
+        points = defense.sweep((1, 2, 4, 8, 16, 32), vdd=0.8)
+        changes = [abs(point.threshold_change) for point in points]
+        assert all(a >= b - 1e-9 for a, b in zip(changes, changes[1:]))
+
+    def test_residual_threshold_scale(self):
+        defense = SizingDefense()
+        scale = defense.residual_threshold_scale(32.0, 0.8)
+        assert 0.9 < scale < 1.0
+
+    def test_pmos_variant_supported(self):
+        defense = SizingDefense(upsized_device="pmos")
+        assert isinstance(defense.threshold_change(4.0, 0.8), float)
+        with pytest.raises(ValueError):
+            SizingDefense(upsized_device="finfet")
+
+    def test_overhead_matches_paper(self):
+        assert SizingDefense().power_overhead == pytest.approx(0.25)
+
+
+class TestComparatorDefense:
+    def test_threshold_pinned_across_vdd(self):
+        defense = ComparatorNeuronDefense()
+        for vdd in (0.8, 1.0, 1.2):
+            assert defense.threshold_scale(vdd) == pytest.approx(1.0, abs=0.01)
+
+    def test_undefended_threshold_still_moves(self):
+        defense = ComparatorNeuronDefense()
+        assert defense.undefended_threshold_scale(0.8) < 0.9
+
+    def test_protected_neuron_uses_reference(self):
+        defense = ComparatorNeuronDefense()
+        neuron = defense.protected_neuron(0.8)
+        assert neuron.membrane_threshold() == pytest.approx(defense.reference.output(0.8))
+
+    def test_overhead_matches_paper(self):
+        assert ComparatorNeuronDefense().power_overhead == pytest.approx(0.11)
+
+
+class TestDummyNeuronDetector:
+    @pytest.mark.parametrize("neuron_type", ["axon_hillock", "if_amplifier"])
+    def test_detects_20_percent_vdd_faults(self, neuron_type):
+        detector = DummyNeuronDetector(neuron_type=neuron_type)
+        assert detector.evaluate(0.8).detected
+        assert detector.evaluate(1.2).detected
+
+    def test_nominal_supply_not_flagged(self):
+        detector = DummyNeuronDetector()
+        outcome = detector.evaluate(1.0)
+        assert not outcome.detected
+        assert outcome.deviation == 0.0
+
+    def test_spike_count_monotone_in_vdd(self):
+        detector = DummyNeuronDetector(neuron_type="axon_hillock")
+        counts = [detector.spike_count(v) for v in (0.8, 0.9, 1.0, 1.1, 1.2)]
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+
+    def test_detection_rate_excludes_nominal_point(self):
+        detector = DummyNeuronDetector()
+        rate = detector.detection_rate([0.8, 1.0, 1.2])
+        assert rate == 1.0
+
+    def test_invalid_neuron_type(self):
+        with pytest.raises(ValueError):
+            DummyNeuronDetector(neuron_type="izhikevich")
+
+
+class TestOverheadReport:
+    def test_contains_all_paper_defenses(self):
+        names = {overhead.name for overhead in overhead_report()}
+        assert names == set(PAPER_OVERHEADS)
+
+    def test_paper_numbers(self):
+        report = {o.name: o for o in overhead_report(200)}
+        assert report["robust_current_driver"].power_overhead == pytest.approx(0.03)
+        assert report["axon_hillock_sizing"].power_overhead == pytest.approx(0.25)
+        assert report["comparator_neuron"].power_overhead == pytest.approx(0.11)
+        assert report["bandgap_threshold"].area_overhead == pytest.approx(0.65)
+        assert report["dummy_neuron_detector"].power_overhead == pytest.approx(0.01)
+
+    def test_bandgap_area_amortises(self):
+        report = {o.name: o for o in overhead_report(20000)}
+        assert report["bandgap_threshold"].area_overhead < 0.01
+        # Per-neuron defenses do not amortise.
+        assert report["axon_hillock_sizing"].area_overhead == pytest.approx(0.01)
+
+    def test_rows_render(self):
+        for overhead in overhead_report():
+            row = overhead.as_row()
+            assert len(row) == 4 and "%" in row[1]

@@ -1,0 +1,74 @@
+"""Tests for the VDD → network-parameter calibration maps."""
+
+import numpy as np
+import pytest
+
+from repro.neurons.calibration import (
+    VddSensitivity,
+    VddToParameterMap,
+    behavioural_parameter_map,
+    circuit_parameter_map,
+)
+
+
+class TestVddSensitivity:
+    def test_interpolation_and_scaling(self):
+        sensitivity = VddSensitivity("x", [0.8, 1.0, 1.2], [80.0, 100.0, 120.0])
+        assert sensitivity.value_at(0.9) == pytest.approx(90.0)
+        assert sensitivity.nominal_value == pytest.approx(100.0)
+        assert sensitivity.scale_at(1.2) == pytest.approx(1.2)
+        assert sensitivity.fractional_change(0.8) == pytest.approx(-0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VddSensitivity("x", [1.0], [1.0])
+        with pytest.raises(ValueError):
+            VddSensitivity("x", [1.0, 0.9], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            VddSensitivity("x", [0.9, 1.0], [1.0, 2.0, 3.0])
+
+
+class TestBehaviouralMap:
+    def test_nominal_is_identity(self):
+        mapping = behavioural_parameter_map()
+        assert mapping.theta_scale(1.0) == pytest.approx(1.0, abs=1e-6)
+        assert mapping.threshold_scale(1.0, "if_amplifier") == pytest.approx(1.0, abs=1e-6)
+        assert mapping.threshold_scale(1.0, "axon_hillock") == pytest.approx(1.0, abs=1e-6)
+
+    def test_low_vdd_reduces_both_parameters(self):
+        mapping = behavioural_parameter_map()
+        assert mapping.theta_scale(0.8) < 0.8
+        assert 0.75 < mapping.threshold_scale(0.8, "if_amplifier") < 0.85
+        assert 0.80 < mapping.threshold_scale(0.8, "axon_hillock") < 0.90
+
+    def test_percent_helpers(self):
+        mapping = behavioural_parameter_map()
+        assert mapping.theta_change_percent(1.2) > 25.0
+        assert mapping.threshold_change_percent(1.2, "if_amplifier") == pytest.approx(20.0, abs=0.5)
+
+    def test_unknown_neuron_type_rejected(self):
+        mapping = behavioural_parameter_map()
+        with pytest.raises(ValueError):
+            mapping.threshold_scale(0.8, "hodgkin_huxley")
+
+    def test_available_neuron_types(self):
+        mapping = behavioural_parameter_map()
+        assert set(mapping.available_neuron_types()) == {"axon_hillock", "if_amplifier"}
+
+
+class TestCircuitMap:
+    def test_circuit_and_behavioural_maps_agree(self):
+        circuit_map = circuit_parameter_map(vdd_values=(0.8, 1.0, 1.2))
+        behavioural_map = behavioural_parameter_map()
+        for vdd in (0.8, 1.2):
+            assert circuit_map.theta_scale(vdd) == pytest.approx(
+                behavioural_map.theta_scale(vdd), abs=0.06
+            )
+            assert circuit_map.threshold_scale(vdd, "axon_hillock") == pytest.approx(
+                behavioural_map.threshold_scale(vdd, "axon_hillock"), abs=0.05
+            )
+
+    def test_if_threshold_follows_divider_exactly(self):
+        circuit_map = circuit_parameter_map(vdd_values=(0.8, 1.0, 1.2))
+        assert circuit_map.threshold_scale(0.8, "if_amplifier") == pytest.approx(0.8)
+        assert circuit_map.threshold_scale(1.2, "if_amplifier") == pytest.approx(1.2)

@@ -1,0 +1,170 @@
+"""Tests for the behavioural neuron/driver models (paper Figs. 5c, 6)."""
+
+import math
+
+import pytest
+
+from repro.neurons import (
+    AxonHillockModel,
+    CurrentDriverModel,
+    IFAmplifierModel,
+    RobustDriverModel,
+    SpikeMetrics,
+    relative_change,
+)
+
+
+class TestMetrics:
+    def test_relative_change(self):
+        assert relative_change(1.2, 1.0) == pytest.approx(0.2)
+        with pytest.raises(ZeroDivisionError):
+            relative_change(1.0, 0.0)
+
+    def test_spike_metrics_from_times(self):
+        metrics = SpikeMetrics.from_spike_times([1.0, 3.0, 5.0])
+        assert metrics.time_to_first_spike == 1.0
+        assert metrics.inter_spike_interval == pytest.approx(2.0)
+        assert metrics.spike_count == 3
+        assert metrics.spike_rate == pytest.approx(0.5)
+
+    def test_spike_metrics_empty(self):
+        metrics = SpikeMetrics.from_spike_times([])
+        assert metrics.time_to_first_spike is None
+        assert metrics.spike_rate == 0.0
+
+    def test_time_to_spike_change_requires_spikes(self):
+        silent = SpikeMetrics.from_spike_times([])
+        active = SpikeMetrics.from_spike_times([1.0])
+        with pytest.raises(ValueError):
+            active.time_to_spike_change(silent)
+
+
+class TestCurrentDriverModel:
+    def test_nominal_amplitude(self):
+        driver = CurrentDriverModel()
+        assert driver.nominal_amplitude == pytest.approx(200e-9, rel=0.03)
+
+    def test_amplitude_monotone_in_vdd(self):
+        driver = CurrentDriverModel()
+        amps = driver.amplitude_vs_vdd([0.8, 0.9, 1.0, 1.1, 1.2])
+        assert all(a < b for a, b in zip(amps, amps[1:]))
+
+    def test_amplitude_change_superlinear(self):
+        driver = CurrentDriverModel()
+        # Paper Fig. 5b: ~+/-32 % output change for +/-20 % VDD change.
+        assert driver.amplitude_scale(0.8) == pytest.approx(0.67, abs=0.06)
+        assert driver.amplitude_scale(1.2) == pytest.approx(1.34, abs=0.06)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(ValueError):
+            CurrentDriverModel().amplitude(0.0)
+
+
+class TestRobustDriverModel:
+    def test_flat_in_regulation(self):
+        driver = RobustDriverModel()
+        assert abs(driver.amplitude_scale(0.8) - 1.0) < 0.01
+        assert abs(driver.amplitude_scale(1.2) - 1.0) < 0.01
+
+    def test_dropout_collapses_with_supply(self):
+        driver = RobustDriverModel()
+        assert driver.amplitude(0.3) < driver.nominal_amplitude * 0.6
+
+
+class TestAxonHillockModel:
+    def test_threshold_near_half_vdd(self):
+        neuron = AxonHillockModel()
+        assert neuron.membrane_threshold(1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_threshold_change_with_vdd(self):
+        neuron = AxonHillockModel()
+        assert neuron.threshold_change(0.8) == pytest.approx(-0.145, abs=0.04)
+        assert neuron.threshold_change(1.2) == pytest.approx(0.145, abs=0.04)
+
+    def test_threshold_override_pins_threshold(self):
+        neuron = AxonHillockModel(threshold_override=0.5)
+        assert neuron.membrane_threshold(0.8) == 0.5
+
+    def test_time_to_spike_inverse_in_amplitude(self):
+        neuron = AxonHillockModel()
+        baseline = neuron.time_to_first_spike(200e-9)
+        faster = neuron.time_to_first_spike(264e-9)
+        slower = neuron.time_to_first_spike(136e-9)
+        # Paper Fig. 5c: -24.7 % and +53.7 % for the Axon-Hillock neuron.
+        assert (faster - baseline) / baseline == pytest.approx(-0.24, abs=0.05)
+        assert (slower - baseline) / baseline == pytest.approx(0.47, abs=0.12)
+
+    def test_time_to_spike_tracks_threshold(self):
+        neuron = AxonHillockModel()
+        baseline = neuron.time_to_first_spike(200e-9, vdd=1.0)
+        low = neuron.time_to_first_spike(200e-9, vdd=0.8)
+        assert (low - baseline) / baseline == pytest.approx(
+            neuron.threshold_change(0.8), abs=0.01
+        )
+
+    def test_reset_time_infinite_when_input_exceeds_reset(self):
+        neuron = AxonHillockModel(reset_current=50e-9)
+        assert math.isinf(neuron.reset_time(200e-9))
+
+    def test_simulation_produces_regular_spikes(self):
+        neuron = AxonHillockModel()
+        metrics = neuron.simulate(200e-9, duration=100e-6)
+        assert metrics.spike_count >= 5
+        assert metrics.inter_spike_interval == pytest.approx(
+            neuron.inter_spike_interval(200e-9), rel=0.05
+        )
+
+    def test_membrane_trajectory_bounded_by_threshold(self):
+        neuron = AxonHillockModel()
+        _, membrane, output = neuron.membrane_trajectory(200e-9, duration=50e-6)
+        assert membrane.max() <= neuron.membrane_threshold() + 1e-9
+        assert set(output.tolist()) <= {0.0, neuron.vdd}
+
+
+class TestIFAmplifierModel:
+    def test_threshold_divider(self):
+        neuron = IFAmplifierModel()
+        assert neuron.membrane_threshold(1.0) == pytest.approx(0.5)
+        assert neuron.membrane_threshold(0.8) == pytest.approx(0.4)
+        assert neuron.threshold_change(1.2) == pytest.approx(0.2)
+
+    def test_threshold_override(self):
+        neuron = IFAmplifierModel(threshold_override=0.5)
+        assert neuron.membrane_threshold(0.8) == 0.5
+
+    def test_amplitude_sensitivity_diluted_by_refractory(self):
+        neuron = IFAmplifierModel()
+        baseline = neuron.inter_spike_interval(200e-9)
+        slower = neuron.inter_spike_interval(136e-9)
+        faster = neuron.inter_spike_interval(264e-9)
+        # Paper Fig. 5c: +14.5 % / -6.7 % — far less sensitive than the AH neuron.
+        assert 0.05 < (slower - baseline) / baseline < 0.25
+        assert -0.12 < (faster - baseline) / baseline < -0.02
+
+    def test_threshold_sensitivity_amplified_by_leak(self):
+        neuron = IFAmplifierModel()
+        baseline = neuron.time_to_first_spike(200e-9, vdd=1.0)
+        high = neuron.time_to_first_spike(200e-9, vdd=1.2)
+        # Paper Fig. 6c: +23.5 % for a +17 % threshold change (super-linear).
+        assert (high - baseline) / baseline > 0.20
+
+    def test_leak_can_prevent_firing(self):
+        neuron = IFAmplifierModel(leak_conductance=1e-6)
+        assert math.isinf(neuron.time_to_first_spike(200e-9))
+        assert neuron.simulate(200e-9).spike_count == 0
+
+    def test_simulation_counts_match_period(self):
+        neuron = IFAmplifierModel()
+        metrics = neuron.simulate(200e-9, duration=2e-3)
+        expected = 2e-3 / neuron.inter_spike_interval(200e-9)
+        assert metrics.spike_count == pytest.approx(expected, abs=1.5)
+
+    def test_membrane_trajectory_shapes(self):
+        neuron = IFAmplifierModel()
+        time, membrane = neuron.membrane_trajectory(200e-9, duration=400e-6)
+        assert len(time) == len(membrane)
+        assert membrane.max() <= neuron.vdd + 1e-9
+
+    def test_invalid_duty_cycle(self):
+        with pytest.raises(ValueError):
+            IFAmplifierModel().integration_time(200e-9, duty_cycle=0.0)

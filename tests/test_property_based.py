@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog import Circuit, dc_operating_point
+from repro.analog.units import parse_value, si_format
+from repro.analog.waveform import Waveform
+from repro.attacks import FaultInjector
+from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
+from repro.snn.encoding import poisson_encode
+from repro.snn.evaluation import all_activity_prediction, assign_labels, classification_accuracy
+from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters, EXCITATORY_LAYER
+from repro.utils.rng import RandomState
+from repro.utils.tables import format_table
+
+
+# --------------------------------------------------------------------- analog
+@given(
+    mantissa=st.floats(min_value=0.001, max_value=999.0, allow_nan=False),
+    suffix=st.sampled_from(["f", "p", "n", "u", "m", "", "k", "meg", "g"]),
+)
+def test_parse_value_applies_magnitude(mantissa, suffix):
+    scale = {"f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+             "": 1.0, "k": 1e3, "meg": 1e6, "g": 1e9}[suffix]
+    assert parse_value(f"{mantissa}{suffix}") == pytest.approx(mantissa * scale, rel=1e-9)
+
+
+@given(value=st.floats(min_value=1e-14, max_value=1e12, allow_nan=False))
+def test_si_format_always_returns_text(value):
+    text = si_format(value, "V")
+    assert isinstance(text, str) and len(text) > 0
+
+
+@given(
+    r_top=st.floats(min_value=10.0, max_value=1e6),
+    r_bottom=st.floats(min_value=10.0, max_value=1e6),
+    supply=st.floats(min_value=0.1, max_value=5.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_voltage_divider_matches_analytic_solution(r_top, r_bottom, supply):
+    circuit = Circuit("divider")
+    circuit.add_voltage_source("V1", "in", "0", supply)
+    circuit.add_resistor("R1", "in", "out", r_top)
+    circuit.add_resistor("R2", "out", "0", r_bottom)
+    op = dc_operating_point(circuit)
+    expected = supply * r_bottom / (r_top + r_bottom)
+    assert op["out"] == pytest.approx(expected, rel=1e-6)
+
+
+@given(
+    level=st.floats(min_value=0.05, max_value=0.95),
+    n_periods=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_waveform_crossings_alternate_and_count_periods(level, n_periods):
+    time = np.linspace(0, n_periods, n_periods * 200, endpoint=False)
+    values = ((time % 1.0) < 0.5).astype(float)
+    wave = Waveform(time, values)
+    rising = wave.threshold_crossings(level, direction="rising")
+    falling = wave.threshold_crossings(level, direction="falling")
+    assert len(rising) == n_periods - 1  # the waveform starts already high
+    assert abs(len(rising) - len(falling)) <= 1
+
+
+# ------------------------------------------------------------------ neurons
+@given(vdd=st.floats(min_value=0.8, max_value=1.2))
+@settings(max_examples=30, deadline=None)
+def test_driver_amplitude_is_monotone_and_positive(vdd):
+    driver = CurrentDriverModel()
+    assert driver.amplitude(vdd) > 0
+    assert driver.amplitude(vdd + 0.01) > driver.amplitude(vdd)
+
+
+@given(vdd=st.floats(min_value=0.8, max_value=1.2), amplitude=st.floats(min_value=1e-7, max_value=4e-7))
+@settings(max_examples=30, deadline=None)
+def test_time_to_spike_decreases_with_drive_for_both_neurons(vdd, amplitude):
+    for model in (AxonHillockModel(), IFAmplifierModel()):
+        slower = model.time_to_first_spike(amplitude, vdd=vdd)
+        faster = model.time_to_first_spike(amplitude * 1.2, vdd=vdd)
+        assert faster < slower
+
+
+# ---------------------------------------------------------------------- rng
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_random_state_reproducibility(seed):
+    assert np.array_equal(RandomState(seed).random(8), RandomState(seed).random(8))
+
+
+# ---------------------------------------------------------------------- snn
+@given(intensity=st.floats(min_value=0.0, max_value=255.0))
+@settings(max_examples=20, deadline=None)
+def test_poisson_encoding_rate_bounded_by_max_rate(intensity):
+    spikes = poisson_encode(np.full(16, intensity), time_steps=300, max_rate=100.0, rng=0)
+    rate_hz = spikes.mean() / 1e-3
+    assert rate_hz <= 100.0 + 1e-9 or rate_hz == pytest.approx(100.0, rel=0.25)
+
+
+@given(
+    n_examples=st.integers(min_value=4, max_value=30),
+    n_neurons=st.integers(min_value=3, max_value=20),
+    n_classes=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_assignment_and_prediction_invariants(n_examples, n_neurons, n_classes):
+    rng = np.random.default_rng(0)
+    counts = rng.poisson(3.0, (n_examples, n_neurons)).astype(float)
+    labels = rng.integers(0, n_classes, n_examples)
+    assignments, rates = assign_labels(counts, labels, n_classes)
+    assert assignments.shape == (n_neurons,)
+    assert np.all((assignments >= 0) & (assignments < n_classes))
+    predictions = all_activity_prediction(counts, assignments, n_classes)
+    assert np.all((predictions >= 0) & (predictions < n_classes))
+    accuracy = classification_accuracy(predictions, labels)
+    assert 0.0 <= accuracy <= 1.0
+
+
+# -------------------------------------------------------------------- attacks
+@given(fraction=st.floats(min_value=0.0, max_value=1.0), scale=st.floats(min_value=0.5, max_value=1.5))
+@settings(max_examples=25, deadline=None)
+def test_fault_injector_affects_exactly_the_requested_fraction(fraction, scale):
+    network = DiehlAndCook2015(DiehlAndCookParameters(n_inputs=9, n_neurons=40), rng=0)
+    injector = FaultInjector(network, rng=1)
+    record = injector.inject_threshold_fault(EXCITATORY_LAYER, scale, fraction=fraction)
+    assert record.n_affected == int(round(fraction * 40))
+    corrupted = ~np.isclose(network.excitatory_layer.threshold_scale, 1.0)
+    if not np.isclose(scale, 1.0):
+        assert corrupted.sum() == record.n_affected
+
+
+# ------------------------------------------------------------------ reporting
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=1,
+                max_size=8,
+            ),
+            st.floats(allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_format_table_line_count(rows):
+    text = format_table(["name", "value"], rows)
+    assert len(text.splitlines()) == 2 + len(rows)

@@ -1,0 +1,80 @@
+"""Tests for neuron-class assignment and accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.snn.evaluation import (
+    all_activity_prediction,
+    assign_labels,
+    classification_accuracy,
+    proportion_weighting_prediction,
+)
+
+
+def perfectly_separable_counts(n_examples_per_class=5, n_classes=3, neurons_per_class=4):
+    """Each class drives its own block of neurons."""
+    rng = np.random.default_rng(0)
+    counts, labels = [], []
+    for cls in range(n_classes):
+        for _ in range(n_examples_per_class):
+            row = rng.poisson(1.0, n_classes * neurons_per_class).astype(float)
+            row[cls * neurons_per_class : (cls + 1) * neurons_per_class] += 20.0
+            counts.append(row)
+            labels.append(cls)
+    return np.array(counts), np.array(labels)
+
+
+def test_assign_labels_recovers_block_structure():
+    counts, labels = perfectly_separable_counts()
+    assignments, rates = assign_labels(counts, labels, 3)
+    expected = np.repeat(np.arange(3), 4)
+    assert np.array_equal(assignments, expected)
+    assert rates.shape == (3, 12)
+
+
+def test_all_activity_prediction_perfect_on_separable_data():
+    counts, labels = perfectly_separable_counts()
+    assignments, _ = assign_labels(counts, labels, 3)
+    predictions = all_activity_prediction(counts, assignments, 3)
+    assert classification_accuracy(predictions, labels) == 1.0
+
+
+def test_proportion_weighting_perfect_on_separable_data():
+    counts, labels = perfectly_separable_counts()
+    assignments, rates = assign_labels(counts, labels, 3)
+    predictions = proportion_weighting_prediction(counts, assignments, rates, 3)
+    assert classification_accuracy(predictions, labels) == 1.0
+
+
+def test_silent_network_gives_chance_level_predictions():
+    counts = np.zeros((30, 12))
+    labels = np.repeat(np.arange(3), 10)
+    assignments, _ = assign_labels(np.ones((30, 12)), labels, 3)
+    predictions = all_activity_prediction(counts, assignments, 3)
+    accuracy = classification_accuracy(predictions, labels)
+    assert accuracy <= 0.5  # degenerate predictions collapse to one class
+
+
+def test_assign_labels_handles_missing_class():
+    counts = np.ones((4, 5))
+    labels = np.array([0, 0, 1, 1])
+    assignments, rates = assign_labels(counts, labels, n_classes=3)
+    assert rates[2].sum() == 0.0
+    assert set(assignments.tolist()) <= {0, 1}
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        assign_labels(np.ones((3, 4)), np.zeros(2), 2)
+    with pytest.raises(ValueError):
+        assign_labels(np.ones(3), np.zeros(3), 2)
+    with pytest.raises(ValueError):
+        all_activity_prediction(np.ones(3), np.zeros(3), 2)
+    with pytest.raises(ValueError):
+        classification_accuracy(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        classification_accuracy(np.zeros(0), np.zeros(0))
+
+
+def test_accuracy_simple_counts():
+    assert classification_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)

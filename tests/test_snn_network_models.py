@@ -1,0 +1,148 @@
+"""Tests for the network engine, monitors and the Diehl&Cook model."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    Connection,
+    DiehlAndCook2015,
+    DiehlAndCookParameters,
+    InputNodes,
+    LIFNodes,
+    Network,
+    SpikeMonitor,
+    StateMonitor,
+)
+from repro.snn.models import EXCITATORY_LAYER, INHIBITORY_LAYER, INPUT_LAYER
+
+
+def simple_network(weight=50.0):
+    """One input neuron driving one LIF neuron with a strong synapse."""
+    network = Network()
+    source = network.add_layer("in", InputNodes(1))
+    target = network.add_layer("out", LIFNodes(1))
+    network.add_connection("in", "out", Connection(source, target, w=np.array([[weight]])))
+    network.add_monitor("out_spikes", SpikeMonitor("out"))
+    network.add_monitor("out_v", StateMonitor("out", "v"))
+    return network
+
+
+class TestNetworkEngine:
+    def test_spikes_propagate_through_connection(self):
+        network = simple_network()
+        inputs = {"in": np.ones((5, 1), dtype=bool)}
+        network.run(inputs)
+        raster = network.monitors["out_spikes"].get()
+        assert raster.shape == (5, 1)
+        assert raster.sum() >= 1
+
+    def test_weak_weight_does_not_fire(self):
+        network = simple_network(weight=0.5)
+        network.run({"in": np.ones((5, 1), dtype=bool)})
+        assert network.monitors["out_spikes"].get().sum() == 0
+
+    def test_state_monitor_records_membrane(self):
+        network = simple_network()
+        network.run({"in": np.ones((3, 1), dtype=bool)})
+        trace = network.monitors["out_v"].get()
+        assert trace.shape == (3, 1)
+
+    def test_run_infers_time_steps_and_validates_shapes(self):
+        network = simple_network()
+        with pytest.raises(ValueError):
+            network.run({"in": np.ones((5, 2), dtype=bool)})
+        with pytest.raises(ValueError):
+            network.run({}, time_steps=None)
+        with pytest.raises(KeyError):
+            network.run({"missing": np.ones((5, 1), dtype=bool)})
+
+    def test_duplicate_layer_rejected(self):
+        network = Network()
+        network.add_layer("a", InputNodes(1))
+        with pytest.raises(ValueError):
+            network.add_layer("a", InputNodes(1))
+
+    def test_connection_layer_consistency_enforced(self):
+        network = Network()
+        a = network.add_layer("a", InputNodes(1))
+        b = network.add_layer("b", LIFNodes(1))
+        other = LIFNodes(1)
+        with pytest.raises(ValueError):
+            network.add_connection("a", "b", Connection(a, other, w=np.ones((1, 1))))
+        with pytest.raises(KeyError):
+            network.add_connection("a", "c", Connection(a, b, w=np.ones((1, 1))))
+
+    def test_monitor_requires_known_layer(self):
+        network = Network()
+        with pytest.raises(KeyError):
+            network.add_monitor("m", SpikeMonitor("nope"))
+
+    def test_set_learning_propagates_to_layers(self):
+        network = simple_network()
+        network.set_learning(False)
+        assert all(not nodes.learning for nodes in network.layers.values())
+
+    def test_reset_monitors_and_state(self):
+        network = simple_network()
+        network.run({"in": np.ones((3, 1), dtype=bool)})
+        network.reset_monitors()
+        network.reset_state_variables()
+        assert network.monitors["out_spikes"].get().size == 0
+        assert network.layers["out"].v[0] == network.layers["out"].rest
+
+
+class TestDiehlAndCook2015:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return DiehlAndCook2015(DiehlAndCookParameters(n_inputs=64, n_neurons=20), rng=0)
+
+    def test_architecture(self, network):
+        assert set(network.layers) == {INPUT_LAYER, EXCITATORY_LAYER, INHIBITORY_LAYER}
+        assert network.input_layer.n == 64
+        assert network.excitatory_layer.n == 20
+        assert network.inhibitory_layer.n == 20
+
+    def test_connection_topologies(self, network):
+        exc_inh = network.connections[(EXCITATORY_LAYER, INHIBITORY_LAYER)].w
+        inh_exc = network.connections[(INHIBITORY_LAYER, EXCITATORY_LAYER)].w
+        assert np.allclose(exc_inh, np.diag(np.diag(exc_inh)))  # one-to-one
+        assert np.allclose(np.diag(inh_exc), 0.0)  # no self inhibition
+        assert inh_exc.max() <= 0.0
+
+    def test_input_weights_bounded_and_normalisable(self, network):
+        connection = network.input_connection
+        assert connection.w.min() >= 0.0
+        connection.normalize()
+        assert np.allclose(connection.w.sum(axis=0), network.parameters.norm)
+
+    def test_present_returns_spike_counts(self):
+        network = DiehlAndCook2015(DiehlAndCookParameters(n_inputs=16, n_neurons=10), rng=1)
+        raster = np.random.default_rng(0).random((30, 16)) < 0.3
+        counts = network.present(raster, learning=True)
+        assert counts.shape == (10,)
+        assert counts.dtype.kind in "iu"
+
+    def test_learning_changes_input_weights(self):
+        network = DiehlAndCook2015(DiehlAndCookParameters(n_inputs=16, n_neurons=10), rng=1)
+        before = network.input_connection.w.copy()
+        raster = np.random.default_rng(0).random((50, 16)) < 0.5
+        network.present(raster, learning=True)
+        assert not np.allclose(before, network.input_connection.w)
+
+    def test_evaluation_mode_freezes_weights_and_theta(self):
+        network = DiehlAndCook2015(DiehlAndCookParameters(n_inputs=16, n_neurons=10), rng=1)
+        raster = np.random.default_rng(0).random((50, 16)) < 0.5
+        network.present(raster, learning=True)
+        weights = network.input_connection.w.copy()
+        theta = network.excitatory_layer.theta.copy()
+        network.present(raster, learning=False)
+        assert np.allclose(weights, network.input_connection.w)
+        assert np.allclose(theta, network.excitatory_layer.theta)
+
+    def test_inhibition_limits_simultaneous_winners(self):
+        parameters = DiehlAndCookParameters(n_inputs=16, n_neurons=10, norm=140.0)
+        network = DiehlAndCook2015(parameters, rng=1)
+        raster = np.random.default_rng(0).random((60, 16)) < 0.6
+        counts = network.present(raster, learning=False)
+        # Lateral inhibition should keep most neurons quiet for one pattern.
+        assert (counts > 0).sum() <= 6

@@ -1,0 +1,153 @@
+"""Tests for the SNN node groups (LIF, adaptive LIF, attack knobs)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.nodes import AdaptiveLIFNodes, InputNodes, LIFNodes
+
+
+class TestInputNodes:
+    def test_set_spikes(self):
+        nodes = InputNodes(5)
+        nodes.set_spikes(np.array([1, 0, 1, 0, 1], dtype=bool))
+        assert nodes.spikes.sum() == 3
+
+    def test_set_spikes_validates_shape(self):
+        with pytest.raises(ValueError):
+            InputNodes(5).set_spikes(np.zeros(4, dtype=bool))
+
+    def test_step_ignores_current(self):
+        nodes = InputNodes(3)
+        nodes.set_spikes(np.array([1, 0, 0], dtype=bool))
+        assert np.array_equal(nodes.step(np.zeros(3)), nodes.spikes)
+
+
+class TestLIFNodes:
+    def test_integrates_and_fires(self):
+        nodes = LIFNodes(1)
+        gap = nodes.thresh[0] - nodes.rest
+        spikes = nodes.step(np.array([gap + 1.0]))
+        assert spikes[0]
+        assert nodes.v[0] == nodes.reset
+
+    def test_subthreshold_input_does_not_fire(self):
+        nodes = LIFNodes(1)
+        spikes = nodes.step(np.array([1.0]))
+        assert not spikes[0]
+        assert nodes.v[0] > nodes.rest
+
+    def test_leak_decays_towards_rest(self):
+        nodes = LIFNodes(1)
+        nodes.step(np.array([5.0]))
+        v_after_input = nodes.v[0]
+        nodes.step(np.array([0.0]))
+        assert nodes.rest < nodes.v[0] < v_after_input
+
+    def test_refractory_period_blocks_integration(self):
+        nodes = LIFNodes(1, refractory_period=5.0)
+        gap = nodes.thresh[0] - nodes.rest
+        nodes.step(np.array([gap + 5.0]))  # fires
+        nodes.step(np.array([gap + 5.0]))  # refractory: input ignored
+        assert not nodes.spikes[0]
+
+    def test_traces_decay_and_reset_on_spike(self):
+        nodes = LIFNodes(1)
+        gap = nodes.thresh[0] - nodes.rest
+        nodes.step(np.array([gap + 1.0]))
+        assert nodes.traces[0] == 1.0
+        nodes.step(np.array([0.0]))
+        assert 0.9 < nodes.traces[0] < 1.0
+
+    def test_reset_state_variables(self):
+        nodes = LIFNodes(3)
+        nodes.step(np.full(3, 100.0))
+        nodes.reset_state_variables()
+        assert np.all(nodes.v == nodes.rest)
+        assert not nodes.spikes.any()
+        assert np.all(nodes.traces == 0.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            LIFNodes(2).step(np.zeros(3))
+        with pytest.raises(ValueError):
+            LIFNodes(0)
+
+
+class TestAttackKnobs:
+    def test_signed_value_convention_scales_threshold_directly(self):
+        nodes = LIFNodes(4, thresh=-40.0, threshold_convention="signed_value")
+        nodes.set_threshold_scale(0.8)
+        assert np.allclose(nodes.thresh, -32.0)
+        nodes.set_threshold_scale(1.2)
+        assert np.allclose(nodes.thresh, -48.0)
+
+    def test_rest_gap_convention_scales_gap(self):
+        nodes = LIFNodes(4, thresh=-40.0, rest=-60.0, threshold_convention="rest_gap")
+        nodes.set_threshold_scale(0.8)
+        assert np.allclose(nodes.thresh, -60.0 + 0.8 * 20.0)
+
+    def test_unknown_convention_rejected(self):
+        with pytest.raises(ValueError):
+            LIFNodes(1, threshold_convention="absolute")
+
+    def test_threshold_scale_with_mask(self):
+        nodes = LIFNodes(4)
+        mask = np.array([True, False, True, False])
+        nodes.set_threshold_scale(0.5, mask)
+        assert np.allclose(nodes.threshold_scale, [0.5, 1.0, 0.5, 1.0])
+        nodes.clear_threshold_scale()
+        assert np.allclose(nodes.threshold_scale, 1.0)
+
+    def test_threshold_scale_validation(self):
+        nodes = LIFNodes(4)
+        with pytest.raises(ValueError):
+            nodes.set_threshold_scale(0.0)
+        with pytest.raises(ValueError):
+            nodes.set_threshold_scale(0.5, np.array([True]))
+
+    def test_input_gain_scales_drive(self):
+        attacked = LIFNodes(1)
+        nominal = LIFNodes(1)
+        attacked.set_input_gain(0.5)
+        attacked.step(np.array([10.0]))
+        nominal.step(np.array([5.0]))
+        assert attacked.v[0] == pytest.approx(nominal.v[0])
+
+    def test_input_gain_mask_validation(self):
+        with pytest.raises(ValueError):
+            LIFNodes(3).set_input_gain(0.5, np.array([True, False]))
+
+
+class TestAdaptiveLIFNodes:
+    def test_theta_grows_with_spikes_during_learning(self):
+        nodes = AdaptiveLIFNodes(1, theta_plus=0.5)
+        gap = nodes.thresh[0] - nodes.rest
+        nodes.step(np.array([gap + 5.0]))
+        assert nodes.theta[0] == pytest.approx(0.5)
+
+    def test_theta_frozen_when_not_learning(self):
+        nodes = AdaptiveLIFNodes(1, theta_plus=0.5)
+        nodes.learning = False
+        gap = nodes.thresh[0] - nodes.rest
+        nodes.step(np.array([gap + 5.0]))
+        assert nodes.theta[0] == 0.0
+
+    def test_theta_raises_effective_threshold(self):
+        nodes = AdaptiveLIFNodes(2, theta_plus=1.0)
+        base = nodes.thresh.copy()
+        nodes.theta[:] = 2.0
+        assert np.allclose(nodes.thresh, base + 2.0)
+
+    def test_theta_persists_across_reset(self):
+        nodes = AdaptiveLIFNodes(1, theta_plus=0.3)
+        gap = nodes.thresh[0] - nodes.rest
+        nodes.step(np.array([gap + 5.0]))
+        nodes.reset_state_variables()
+        assert nodes.theta[0] == pytest.approx(0.3)
+        assert nodes.v[0] == nodes.rest
+
+    def test_threshold_corruption_composes_with_theta(self):
+        nodes = AdaptiveLIFNodes(1, thresh=-52.0)
+        nodes.theta[:] = 1.0
+        nodes.set_threshold_scale(0.8)
+        assert nodes.thresh[0] == pytest.approx(-52.0 * 0.8 + 1.0)

@@ -1,0 +1,141 @@
+"""Tests for connections and plasticity rules."""
+
+import numpy as np
+import pytest
+
+from repro.snn.learning import NoOp, PostPre, WeightDependentPostPre
+from repro.snn.nodes import InputNodes, LIFNodes
+from repro.snn.topology import (
+    Connection,
+    lateral_inhibition_weights,
+    one_to_one_weights,
+)
+
+
+def make_layers(n_pre=4, n_post=3):
+    return InputNodes(n_pre), LIFNodes(n_post)
+
+
+class TestConnection:
+    def test_default_weights_shape_and_bounds(self):
+        pre, post = make_layers()
+        connection = Connection(pre, post, rng=0)
+        assert connection.w.shape == (4, 3)
+        assert connection.w.min() >= 0.0 and connection.w.max() <= 0.3
+
+    def test_weight_shape_validation(self):
+        pre, post = make_layers()
+        with pytest.raises(ValueError):
+            Connection(pre, post, w=np.zeros((2, 2)))
+
+    def test_wmin_wmax_validation_and_clamp(self):
+        pre, post = make_layers()
+        with pytest.raises(ValueError):
+            Connection(pre, post, wmin=1.0, wmax=0.0)
+        connection = Connection(pre, post, w=np.full((4, 3), 5.0), wmin=0.0, wmax=1.0)
+        assert connection.w.max() == 1.0
+
+    def test_compute_sums_active_rows(self):
+        pre, post = make_layers()
+        w = np.arange(12, dtype=float).reshape(4, 3)
+        connection = Connection(pre, post, w=w)
+        pre.set_spikes(np.array([1, 0, 1, 0], dtype=bool))
+        assert np.allclose(connection.compute(), w[0] + w[2])
+
+    def test_compute_zero_when_silent(self):
+        pre, post = make_layers()
+        connection = Connection(pre, post, rng=0)
+        assert np.allclose(connection.compute(), 0.0)
+
+    def test_normalize_per_target(self):
+        pre, post = make_layers()
+        connection = Connection(pre, post, w=np.ones((4, 3)), norm=2.0)
+        connection.normalize()
+        assert np.allclose(connection.w.sum(axis=0), 2.0)
+
+    def test_normalize_noop_without_norm(self):
+        pre, post = make_layers()
+        connection = Connection(pre, post, w=np.ones((4, 3)))
+        connection.normalize()
+        assert np.allclose(connection.w, 1.0)
+
+    def test_one_to_one_and_lateral_helpers(self):
+        diag = one_to_one_weights(3, 22.5)
+        assert np.allclose(np.diag(diag), 22.5)
+        assert diag.sum() == pytest.approx(3 * 22.5)
+        lateral = lateral_inhibition_weights(3, -10.0)
+        assert np.allclose(np.diag(lateral), 0.0)
+        assert lateral[0, 1] == -10.0
+
+
+class TestLearningRules:
+    def test_noop_leaves_weights(self):
+        pre, post = make_layers()
+        connection = Connection(pre, post, w=np.full((4, 3), 0.5), update_rule=NoOp())
+        pre.set_spikes(np.ones(4, dtype=bool))
+        post.spikes = np.ones(3, dtype=bool)
+        connection.update(learning=True)
+        assert np.allclose(connection.w, 0.5)
+
+    def test_postpre_potentiation_on_post_spike(self):
+        pre, post = make_layers()
+        connection = Connection(
+            pre, post, w=np.full((4, 3), 0.5), wmin=0, wmax=1,
+            update_rule=PostPre(nu_pre=0.0, nu_post=0.1),
+        )
+        pre.traces[:] = 1.0
+        post.spikes = np.array([True, False, False])
+        connection.update(learning=True)
+        assert np.allclose(connection.w[:, 0], 0.6)
+        assert np.allclose(connection.w[:, 1:], 0.5)
+
+    def test_postpre_depression_on_pre_spike(self):
+        pre, post = make_layers()
+        connection = Connection(
+            pre, post, w=np.full((4, 3), 0.5), wmin=0, wmax=1,
+            update_rule=PostPre(nu_pre=0.1, nu_post=0.0),
+        )
+        post.traces[:] = 1.0
+        pre.set_spikes(np.array([1, 0, 0, 0], dtype=bool))
+        connection.update(learning=True)
+        assert np.allclose(connection.w[0], 0.4)
+        assert np.allclose(connection.w[1:], 0.5)
+
+    def test_learning_disabled_skips_update(self):
+        pre, post = make_layers()
+        connection = Connection(
+            pre, post, w=np.full((4, 3), 0.5), update_rule=PostPre(0.1, 0.1)
+        )
+        pre.set_spikes(np.ones(4, dtype=bool))
+        post.traces[:] = 1.0
+        connection.update(learning=False)
+        assert np.allclose(connection.w, 0.5)
+
+    def test_weights_stay_clamped_after_update(self):
+        pre, post = make_layers()
+        connection = Connection(
+            pre, post, w=np.full((4, 3), 0.99), wmin=0, wmax=1,
+            update_rule=PostPre(nu_pre=0.0, nu_post=0.5),
+        )
+        pre.traces[:] = 1.0
+        post.spikes = np.ones(3, dtype=bool)
+        connection.update(learning=True)
+        assert connection.w.max() <= 1.0
+
+    def test_weight_dependent_rule_soft_bounds(self):
+        pre, post = make_layers()
+        connection = Connection(
+            pre, post, w=np.full((4, 3), 0.99), wmin=0, wmax=1,
+            update_rule=WeightDependentPostPre(nu_pre=0.0, nu_post=0.5),
+        )
+        pre.traces[:] = 1.0
+        post.spikes = np.ones(3, dtype=bool)
+        connection.update(learning=True)
+        # Potentiation scaled by the tiny remaining headroom: the weights
+        # approach but never reach the ceiling.
+        assert connection.w.max() < 1.0
+        assert connection.w.min() > 0.99
+
+    def test_negative_learning_rates_rejected(self):
+        with pytest.raises(ValueError):
+            PostPre(nu_pre=-0.1)

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def test_same_seed_gives_same_stream():
+    a = RandomState(123)
+    b = RandomState(123)
+    assert np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_seeds_give_different_streams():
+    a = RandomState(1)
+    b = RandomState(2)
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_spawn_is_independent_of_parent_consumption():
+    parent_a = RandomState(5)
+    parent_b = RandomState(5)
+    parent_b.random(100)  # consume numbers before spawning
+    child_a = parent_a.spawn("child")
+    child_b = parent_b.spawn("child")
+    assert np.array_equal(child_a.random(5), child_b.random(5))
+
+
+def test_spawned_children_differ_from_parent():
+    parent = RandomState(5)
+    child = parent.spawn("child")
+    assert not np.array_equal(parent.random(5), child.random(5))
+
+
+def test_ensure_rng_passes_through_randomstate():
+    state = RandomState(9)
+    assert ensure_rng(state) is state
+
+
+def test_ensure_rng_accepts_int_and_none():
+    assert isinstance(ensure_rng(3), RandomState)
+    assert isinstance(ensure_rng(None), RandomState)
+
+
+def test_ensure_rng_wraps_numpy_generator():
+    generator = np.random.default_rng(0)
+    state = ensure_rng(generator)
+    assert state.generator is generator
+
+
+def test_integers_respects_bounds():
+    state = RandomState(0)
+    values = state.integers(0, 10, size=1000)
+    assert values.min() >= 0
+    assert values.max() < 10
+
+
+def test_choice_without_replacement_is_unique():
+    state = RandomState(0)
+    chosen = state.choice(50, size=20, replace=False)
+    assert len(set(chosen.tolist())) == 20
+
+
+def test_permutation_preserves_elements():
+    state = RandomState(0)
+    perm = state.permutation(np.arange(30))
+    assert sorted(perm.tolist()) == list(range(30))
+
+
+def test_shuffle_in_place():
+    state = RandomState(0)
+    values = np.arange(20)
+    state.shuffle(values)
+    assert sorted(values.tolist()) == list(range(20))
+
+
+def test_normal_and_poisson_shapes():
+    state = RandomState(0)
+    assert state.normal(0, 1, size=(3, 4)).shape == (3, 4)
+    assert state.poisson(2.0, size=7).shape == (7,)
+
+
+def test_spawn_from_wrapped_generator_is_deterministic():
+    child_a = ensure_rng(np.random.default_rng(7)).spawn("x")
+    child_b = ensure_rng(np.random.default_rng(7)).spawn("x")
+    assert np.array_equal(child_a.random(4), child_b.random(4))

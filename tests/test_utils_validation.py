@@ -1,0 +1,67 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_positive,
+    check_probability,
+    check_range,
+    check_same_length,
+)
+
+
+def test_check_positive_accepts_positive():
+    assert check_positive(3.5, "x") == 3.5
+
+
+def test_check_positive_rejects_zero_when_strict():
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive(0, "x")
+
+
+def test_check_positive_allows_zero_when_not_strict():
+    assert check_positive(0, "x", strict=False) == 0.0
+
+
+def test_check_positive_rejects_negative_non_strict():
+    with pytest.raises(ValueError):
+        check_positive(-1, "x", strict=False)
+
+
+def test_check_range_accepts_bounds():
+    assert check_range(0.8, "vdd", 0.8, 1.2) == 0.8
+    assert check_range(1.2, "vdd", 0.8, 1.2) == 1.2
+
+
+def test_check_range_rejects_outside():
+    with pytest.raises(ValueError, match="vdd must be in"):
+        check_range(1.3, "vdd", 0.8, 1.2)
+
+
+def test_check_fraction_bounds():
+    assert check_fraction(0.0, "f") == 0.0
+    assert check_fraction(1.0, "f") == 1.0
+    with pytest.raises(ValueError):
+        check_fraction(1.01, "f")
+
+
+def test_check_probability_rejects_negative():
+    with pytest.raises(ValueError, match="probability"):
+        check_probability(-0.1, "p")
+
+
+def test_check_in_choices_accepts_member():
+    assert check_in_choices("a", "mode", ("a", "b")) == "a"
+
+
+def test_check_in_choices_rejects_non_member():
+    with pytest.raises(ValueError, match="mode must be one of"):
+        check_in_choices("c", "mode", ("a", "b"))
+
+
+def test_check_same_length_passes_and_fails():
+    check_same_length("a", [1, 2], "b", [3, 4])
+    with pytest.raises(ValueError, match="same length"):
+        check_same_length("a", [1], "b", [1, 2])
