@@ -29,3 +29,9 @@ def pipeline(experiment_config) -> ClassificationPipeline:
 def baseline_accuracy(pipeline) -> float:
     """Attack-free accuracy (trains one network; reused by every benchmark)."""
     return pipeline.run_baseline().accuracy
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline_config() -> ExperimentConfig:
+    """A sub-smoke scale for executor-parity checks (seconds per run)."""
+    return ExperimentConfig.tiny()

@@ -1,0 +1,127 @@
+"""Executor scaling benchmark: parallel sweeps vs the serial loop.
+
+Measures the wall-clock win of fanning a Fig. 8-shaped sweep (a batch of
+independent pipeline evaluations) out over a process pool, and asserts that
+parallel results are *bit-identical* to serial ones.
+
+Two workloads are used:
+
+* A wait-bound stand-in pipeline with a fixed per-task cost, to measure the
+  executor's own scaling without needing spare cores (process pools overlap
+  such tasks even on a single-CPU runner).  This is where the ≥2x speedup
+  with ``workers=4`` is asserted.
+* The real classification pipeline at a tiny scale, to prove serial/parallel
+  result parity on genuine training runs.
+
+On a multi-core machine the same ``workers=4`` configuration applies to the
+real compute-bound sweeps (e.g. ``AttackCampaign(pipeline, workers=4)`` for
+the Fig. 8 grids); the executor's measured speedup is reported by
+``format_execution_report``.
+"""
+
+import time
+
+from repro.attacks import Attack2ExcitatoryThreshold, AttackCampaign
+from repro.core import ExperimentConfig
+from repro.core.reporting import format_execution_report
+from repro.core.results import ExperimentResult
+from repro.exec import SweepExecutor
+
+#: Per-task cost of the stand-in pipeline and the sweep size.  8 tasks at
+#: 0.4 s give a 3.2 s serial floor; four workers land near 0.8 s plus pool
+#: start-up, comfortably past the asserted 2x.
+TASK_SECONDS = 0.4
+GRID_THRESHOLD_CHANGES = (-0.2, -0.1, 0.1, 0.2)
+GRID_FRACTIONS = (0.5, 1.0)
+
+
+class WaitBoundConfig:
+    """Minimal picklable config for the stand-in pipeline."""
+
+    scale_name = "wait-bound"
+
+
+class WaitBoundPipeline:
+    """Pipeline-protocol stand-in whose runs cost a fixed wall-clock time.
+
+    Results are a pure function of the attack label, so serial and parallel
+    execution must agree exactly — mirroring the real pipeline's contract.
+    """
+
+    def __init__(self, config=None) -> None:
+        self.config = config or WaitBoundConfig()
+
+    def _result(self, label: str) -> ExperimentResult:
+        time.sleep(TASK_SECONDS)
+        # Deterministic pseudo-accuracy derived from the label alone.
+        accuracy = (sum(label.encode()) % 97) / 97.0
+        return ExperimentResult(attack_label=label, accuracy=accuracy)
+
+    def run(self, attack) -> ExperimentResult:
+        return self._result(attack.label())
+
+    def run_baseline(self) -> ExperimentResult:
+        return self._result("baseline")
+
+
+def build_wait_bound_pipeline() -> WaitBoundPipeline:
+    return WaitBoundPipeline()
+
+
+def _grid_attacks():
+    return [
+        Attack2ExcitatoryThreshold(threshold_change=change, fraction=fraction)
+        for change in GRID_THRESHOLD_CHANGES
+        for fraction in GRID_FRACTIONS
+    ]
+
+
+def test_parallel_sweep_speedup_over_serial(benchmark):
+    attacks = _grid_attacks()
+
+    serial = SweepExecutor(WaitBoundPipeline(), workers=0)
+    start = time.perf_counter()
+    serial_results = serial.map(attacks)
+    serial_seconds = time.perf_counter() - start
+
+    parallel = SweepExecutor(
+        None, workers=4, pipeline_factory=build_wait_bound_pipeline
+    )
+
+    def run_parallel():
+        return parallel.map(attacks)
+
+    start = time.perf_counter()
+    parallel_results = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\nserial {serial_seconds:.2f} s, parallel(4) {parallel_seconds:.2f} s, "
+        f"speedup {speedup:.2f}x over {len(attacks)} tasks"
+    )
+    print(format_execution_report(parallel.stats))
+
+    for left, right in zip(serial_results, parallel_results):
+        assert left.attack_label == right.attack_label
+        assert left.accuracy == right.accuracy
+    assert speedup >= 2.0, f"expected >=2x with workers=4, measured {speedup:.2f}x"
+
+
+def test_parallel_campaign_matches_serial_bit_for_bit(tiny_pipeline_config):
+    """Fig. 8a-scope sweep: campaign results identical for workers=0 and 4."""
+    from repro.core import ClassificationPipeline
+
+    changes, fractions = (-0.2, 0.2), (0.0, 1.0)
+    serial_campaign = AttackCampaign(ClassificationPipeline(tiny_pipeline_config))
+    serial_grid = serial_campaign.sweep_layer_threshold(
+        "excitatory", changes, fractions
+    )
+    parallel_campaign = AttackCampaign(
+        ClassificationPipeline(tiny_pipeline_config), workers=4
+    )
+    parallel_grid = parallel_campaign.sweep_layer_threshold(
+        "excitatory", changes, fractions
+    )
+    assert (serial_grid.accuracies == parallel_grid.accuracies).all()
+    assert serial_grid.baseline_accuracy == parallel_grid.baseline_accuracy

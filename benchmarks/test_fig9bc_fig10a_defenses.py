@@ -10,8 +10,12 @@
 
 import numpy as np
 
-from repro.attacks import Attack4BothLayerThreshold
-from repro.defenses import ComparatorNeuronDefense, RobustDriverDefense, SizingDefense
+from repro.defenses import (
+    ComparatorNeuronDefense,
+    DefenseAccuracyEvaluator,
+    RobustDriverDefense,
+    SizingDefense,
+)
 from repro.utils.tables import format_table
 
 VDD_VALUES = (0.8, 0.9, 1.0, 1.1, 1.2)
@@ -41,17 +45,19 @@ def test_fig9b_robust_driver_flatness(benchmark):
 
 def test_fig9c_sizing_defense_threshold_and_accuracy(benchmark, pipeline, baseline_accuracy):
     defense = SizingDefense()
+    evaluator = DefenseAccuracyEvaluator(pipeline)
 
     def run():
         points = defense.sweep(SIZING_FACTORS, vdd=0.8)
         # Accuracy recovered by the largest up-sizing, evaluated by running the
-        # Attack-4 experiment with the residual (defended) threshold scale.
+        # Attack-4 experiment with the residual (defended) threshold scale;
+        # the evaluator submits defended + undefended + baseline as one
+        # executor batch (baseline served from cache).
         residual_scale = defense.residual_threshold_scale(SIZING_FACTORS[-1], 0.8)
-        defended = pipeline.run(
-            Attack4BothLayerThreshold(threshold_change=residual_scale - 1.0)
-        )
-        undefended = pipeline.run(Attack4BothLayerThreshold(threshold_change=-0.2))
-        return points, defended, undefended
+        point = evaluator.evaluate_threshold_defenses(
+            {"32x sizing": residual_scale - 1.0}, undefended_change=-0.2
+        )[0]
+        return points, point.defended, point.undefended
 
     points, defended, undefended = benchmark.pedantic(run, rounds=1, iterations=1)
     print(

@@ -1,14 +1,25 @@
 """Run all five power-oriented attacks against one trained pipeline.
 
-Reproduces the paper's headline comparison: the driver-only and
-excitatory-layer attacks barely move the accuracy, while the inhibitory-layer,
-both-layer and global-supply attacks collapse it.
+Reproduces the paper's headline comparison (the summary behind Figs. 7b-9a):
+the driver-only and excitatory-layer attacks barely move the accuracy, while
+the inhibitory-layer, both-layer and global-supply attacks collapse it.
+
+Figure reproduced
+    Summary row of Figs. 7b, 8a-8c and 9a (one representative point per
+    attack family).
+Expected runtime
+    ~5 min serially at the default ``benchmark`` scale; seconds at
+    ``REPRO_SCALE=smoke``.  ``--workers N`` fans the five attacked runs out
+    over N processes and divides the wall-clock accordingly.
 
 Usage::
 
-    python examples/attack_campaign.py            # benchmark scale (~5 min)
+    python examples/attack_campaign.py                     # serial, benchmark scale
+    python examples/attack_campaign.py --workers 4         # parallel sweep
     REPRO_SCALE=smoke python examples/attack_campaign.py   # quick look
 """
+
+import argparse
 
 from repro.attacks import (
     Attack1InputSpikeCorruption,
@@ -18,17 +29,28 @@ from repro.attacks import (
     Attack5GlobalSupply,
 )
 from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.core.reporting import format_execution_report
+from repro.exec import SweepExecutor
 from repro.utils.tables import format_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the attack sweep (0/1 = serial, default)",
+    )
+    args = parser.parse_args()
+
     config = ExperimentConfig.from_environment(default="benchmark")
     pipeline = ClassificationPipeline(config)
-
-    print(f"Training the attack-free baseline ({config.scale_name} scale)...")
-    baseline = pipeline.run_baseline()
+    executor = SweepExecutor(pipeline, workers=args.workers)
 
     attacks = [
+        None,  # the attack-free baseline
         Attack1InputSpikeCorruption(theta_change=-0.2),
         Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=1.0),
         Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
@@ -36,16 +58,22 @@ def main() -> None:
         Attack5GlobalSupply(vdd=0.8),
     ]
 
+    mode = f"{args.workers} workers" if args.workers >= 2 else "serial"
+    print(f"Running the 5-attack campaign ({config.scale_name} scale, {mode})...")
+    results = executor.map(attacks)
+    baseline, attacked = results[0], results[1:]
+
     rows = [("baseline", f"{baseline.accuracy:.3f}", "-", "-")]
-    for attack in attacks:
-        print(f"Running {attack.label()} ...")
-        result = pipeline.run(attack)
+    for attack, result in zip(attacks[1:], attacked):
+        # The executor back-fills baseline_accuracy (the batch includes the
+        # baseline), so the result's own guarded properties apply.
+        degradation = result.relative_degradation
         rows.append(
             (
                 attack.label(),
                 f"{result.accuracy:.3f}",
                 f"{result.accuracy_change:+.3f}",
-                f"{result.relative_degradation:.1%}",
+                "n/a" if degradation is None else f"{degradation:.1%}",
             )
         )
 
@@ -57,6 +85,8 @@ def main() -> None:
             title="Power-oriented fault-injection attacks on the Diehl&Cook SNN",
         )
     )
+    print()
+    print(format_execution_report(executor.stats))
 
 
 if __name__ == "__main__":

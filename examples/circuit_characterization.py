@@ -1,8 +1,16 @@
 """Circuit-level characterisation of the analog neurons and drivers.
 
-Reproduces the circuit-tier sensitivity analyses of the paper (Figs. 5b, 6a
-and the robust-driver/comparator defenses) directly from the MNA netlists and
-the behavioural models, and prints a transient summary of both neurons.
+Reproduces the circuit-tier sensitivity analyses of the paper directly from
+the MNA netlists and the behavioural models, and prints a transient summary
+of both neurons.
+
+Figures reproduced
+    Fig. 5b (driver amplitude vs VDD), Fig. 6a (threshold sensitivity vs
+    VDD), and the circuit halves of Figs. 9b/10a (robust driver and
+    comparator defenses).
+Expected runtime
+    ~1-2 min on a laptop (dozens of small transient/DC simulations; no SNN
+    training involved).
 
 Usage::
 

@@ -4,6 +4,14 @@ Shows, for each defense, how much of the attack-induced parameter corruption
 survives, what it costs, and whether the dummy-neuron detector flags the
 supply fault.
 
+Figures reproduced
+    The defense columns of Figs. 9b/9c/10a (residual corruption), Fig. 10b/c
+    (dummy-neuron detector) and Table comparisons of Sec. V (area/power
+    overheads).
+Expected runtime
+    A few seconds on a laptop (behavioural models and small circuit solves
+    only; no SNN training).
+
 Usage::
 
     python examples/defense_evaluation.py

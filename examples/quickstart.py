@@ -1,8 +1,12 @@
 """Quickstart: train the Diehl&Cook SNN and attack its power supply.
 
 Runs the attack-free baseline and the black-box Attack 5 (global VDD fault at
-0.8 V) at a small scale, then prints both results.  Takes roughly a minute on
-a laptop.
+0.8 V) at a small scale, then prints both results.
+
+Figure reproduced
+    One point of Fig. 9a (Attack 5 at VDD = 0.8 V) against its baseline.
+Expected runtime
+    ~1 min on a laptop (smoke scale; two training runs).
 
 Usage::
 

@@ -14,6 +14,10 @@ The library is organised in three tiers that mirror the paper:
   injection attacks), :mod:`repro.defenses` (the proposed countermeasures)
   and :mod:`repro.core` (the experiment pipeline that regenerates every
   figure in the paper's evaluation).
+
+Cutting across the tiers, :mod:`repro.exec` fans independent sweep
+evaluations out over a process pool with result caching and timing — see
+``docs/architecture.md`` for the full picture.
 """
 
 __version__ = "1.0.0"
@@ -27,5 +31,6 @@ __all__ = [
     "attacks",
     "defenses",
     "core",
+    "exec",
     "utils",
 ]

@@ -22,6 +22,20 @@ class ConvergenceError(RuntimeError):
 
 
 @dataclass
+class NewtonStats:
+    """Optional diagnostics filled in by :func:`newton_solve`.
+
+    The adaptive transient controller uses ``iterations`` as its
+    convergence-speed signal (few iterations → the time step can grow).
+    """
+
+    #: Newton iterations of the final (successful) solve.
+    iterations: int = 0
+    #: True when the plain solve failed and gmin stepping was required.
+    used_gmin_stepping: bool = False
+
+
+@dataclass
 class SolverOptions:
     """Tunable knobs of the nonlinear solver."""
 
@@ -58,6 +72,16 @@ class MNASystem:
         self.size = self.n_nodes + self.n_branches
         if self.size == 0:
             raise ValueError(f"circuit {circuit.name!r} has no unknowns to solve for")
+        #: Cached once: whether any device needs Newton iteration at all.
+        self.is_nonlinear = any(device.is_nonlinear for device in circuit.devices)
+        # Reusable assembly workspace.  The matrix structure (size and the
+        # set of touched entries) is fixed by the circuit topology, so the
+        # dense matrix and RHS are allocated once and zeroed per assembly
+        # instead of reallocated per Newton iteration.
+        self._matrix = np.zeros((self.size, self.size))
+        self._rhs = np.zeros(self.size)
+        # Flat indices of the node-row diagonal, for vectorised gmin loading.
+        self._node_diag_flat = np.arange(self.n_nodes) * (self.size + 1)
 
     # ------------------------------------------------------------------ lookup
     def index_of(self, node: str) -> int:
@@ -85,14 +109,20 @@ class MNASystem:
 
     # ---------------------------------------------------------------- assembly
     def assemble(self, state: "StampState", options: SolverOptions) -> tuple:
-        """Assemble the (linearised) MNA matrix and right-hand side."""
-        stamper = Stamper(self)
+        """Assemble the (linearised) MNA matrix and right-hand side.
+
+        The returned arrays are the system's reusable workspace: they are
+        overwritten by the next :meth:`assemble` call, so callers must not
+        hold on to them across iterations (``np.linalg.solve`` copies).
+        """
+        self._matrix.fill(0.0)
+        self._rhs.fill(0.0)
+        stamper = Stamper(self, matrix=self._matrix, rhs=self._rhs)
         for device in self.circuit.devices:
             device.stamp(stamper, state)
         matrix, rhs = stamper.matrix, stamper.rhs
         # Conditioning gmin on node rows only.
-        for i in range(self.n_nodes):
-            matrix[i, i] += state.gmin if state.gmin else options.gmin
+        matrix.flat[self._node_diag_flat] += state.gmin if state.gmin else options.gmin
         return matrix, rhs
 
 
@@ -152,10 +182,17 @@ class StampState:
 class Stamper:
     """Accumulates device stamps into the dense MNA matrix."""
 
-    def __init__(self, system: MNASystem) -> None:
+    def __init__(
+        self,
+        system: MNASystem,
+        matrix: Optional[np.ndarray] = None,
+        rhs: Optional[np.ndarray] = None,
+    ) -> None:
         self.system = system
-        self.matrix = np.zeros((system.size, system.size))
-        self.rhs = np.zeros(system.size)
+        self.matrix = (
+            matrix if matrix is not None else np.zeros((system.size, system.size))
+        )
+        self.rhs = rhs if rhs is not None else np.zeros(system.size)
 
     # ---------------------------------------------------------------- resolves
     def _idx(self, node: str) -> int:
@@ -227,23 +264,28 @@ def newton_solve(
     state: StampState,
     initial_guess: Optional[np.ndarray] = None,
     options: Optional[SolverOptions] = None,
+    *,
+    stats: Optional[NewtonStats] = None,
 ) -> np.ndarray:
     """Solve the (possibly nonlinear) MNA system by damped Newton-Raphson.
 
     Falls back to gmin stepping if the plain iteration does not converge.
+    Pass a :class:`NewtonStats` to receive convergence diagnostics.
     """
     options = options or SolverOptions()
     guess = (
         np.zeros(system.size) if initial_guess is None else np.array(initial_guess, dtype=float)
     )
     try:
-        return _newton_iterate(system, state, guess, options, gmin=0.0)
+        return _newton_iterate(system, state, guess, options, gmin=0.0, stats=stats)
     except (ConvergenceError, np.linalg.LinAlgError):
         pass
     # gmin stepping: solve with a heavily damped system first, then relax.
+    if stats is not None:
+        stats.used_gmin_stepping = True
     solution = guess
     for gmin in options.gmin_stepping:
-        solution = _newton_iterate(system, state, solution, options, gmin=gmin)
+        solution = _newton_iterate(system, state, solution, options, gmin=gmin, stats=stats)
     return solution
 
 
@@ -254,8 +296,9 @@ def _newton_iterate(
     options: SolverOptions,
     *,
     gmin: float,
+    stats: Optional[NewtonStats] = None,
 ) -> np.ndarray:
-    nonlinear = any(device.is_nonlinear for device in system.circuit.devices)
+    nonlinear = system.is_nonlinear
     x = guess.copy()
     state.gmin = gmin
     for iteration in range(options.max_iterations):
@@ -266,6 +309,8 @@ def _newton_iterate(
         except np.linalg.LinAlgError:
             x_new = np.linalg.lstsq(matrix, rhs, rcond=None)[0]
         if not nonlinear:
+            if stats is not None:
+                stats.iterations = iteration + 1
             return x_new
         delta = x_new - x
         node_delta = delta[: system.n_nodes]
@@ -283,6 +328,8 @@ def _newton_iterate(
         max_delta = float(np.max(np.abs(node_delta))) if len(node_delta) else 0.0
         scale = float(np.max(np.abs(x[: system.n_nodes]))) if system.n_nodes else 1.0
         if max_delta <= options.voltage_tolerance + options.relative_tolerance * max(scale, 1.0):
+            if stats is not None:
+                stats.iterations = iteration + 1
             return x
     raise ConvergenceError(
         f"Newton-Raphson failed to converge for circuit {system.circuit.name!r} "

@@ -4,6 +4,16 @@ The transient engine advances the circuit with a fixed time step, solving the
 nonlinear system at each step with the previous solution as the Newton
 starting point.  Backward Euler is unconditionally stable, which matters for
 the stiff positive-feedback loop inside the Axon-Hillock neuron.
+
+Two execution modes are provided:
+
+* **Fixed-step** (default): one solve per output point, exactly as SPICE's
+  ``.tran`` with a uniform print grid.  Trace buffers are preallocated to
+  the known number of points.
+* **Adaptive** (``adaptive=True``): the step grows geometrically while
+  Newton converges quickly and shrinks when a step needs subdivision, so
+  long flat stretches of a waveform cost far fewer solves.  The output time
+  grid then follows the accepted steps (non-uniform spacing).
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from repro.analog.devices import Capacitor
 from repro.analog.mna import (
     ConvergenceError,
     MNASystem,
+    NewtonStats,
     SolverOptions,
     StampState,
     newton_solve,
@@ -47,7 +58,14 @@ class TransientResult:
         return np.zeros_like(self.time)
 
     def current(self, device_name: str) -> np.ndarray:
-        """Branch-current trace of a voltage source or inductor."""
+        """Branch-current trace of a device with a branch unknown.
+
+        Per :mod:`repro.analog.devices`, the devices that carry a branch
+        current are voltage sources and inductors (``n_branches == 1``);
+        both are fully supported here.  Other devices (resistors,
+        capacitors, MOSFETs, ...) have no branch unknown — their terminal
+        currents are not recorded, so looking them up raises ``KeyError``.
+        """
         return self.branch_currents[device_name]
 
     def waveform(self, node: str) -> Waveform:
@@ -62,6 +80,85 @@ class TransientResult:
         return len(self.time)
 
 
+class _TraceRecorder:
+    """Preallocated NumPy trace buffers with vectorised per-step recording.
+
+    Replaces the per-node, per-step Python ``list.append`` hot path: one
+    fancy-indexing gather per accepted step writes every recorded node and
+    branch at once.  In adaptive mode (unknown point count) the buffers grow
+    geometrically and are trimmed on finalisation.
+    """
+
+    def __init__(
+        self,
+        system: MNASystem,
+        recorded_nodes: Sequence[str],
+        branch_devices: Sequence,
+        capacity: int,
+    ) -> None:
+        self._system = system
+        self._nodes = list(recorded_nodes)
+        self._devices = list(branch_devices)
+        indices = np.array(
+            [system.index_of(node) for node in self._nodes], dtype=np.intp
+        )
+        # Ground (index -1) would alias the last unknown under fancy
+        # indexing; gather it anyway and mask the column to zero afterwards.
+        self._grounded = indices < 0
+        self._node_indices = np.where(self._grounded, 0, indices)
+        self._branch_indices = np.array(
+            [system.branch_index_of(device) for device in self._devices],
+            dtype=np.intp,
+        )
+        capacity = max(capacity, 1)
+        self._times = np.empty(capacity)
+        self._node_buf = np.empty((len(self._nodes), capacity))
+        self._branch_buf = np.empty((len(self._devices), capacity))
+        self._count = 0
+
+    def append(self, time: float, solution: np.ndarray) -> None:
+        """Record one accepted time point."""
+        if self._count == len(self._times):
+            self._grow()
+        i = self._count
+        self._times[i] = time
+        if len(self._nodes):
+            column = solution[self._node_indices]
+            if self._grounded.any():
+                column[self._grounded] = 0.0
+            self._node_buf[:, i] = column
+        if len(self._devices):
+            self._branch_buf[:, i] = solution[self._branch_indices]
+        self._count = i + 1
+
+    def _grow(self) -> None:
+        new_capacity = 2 * len(self._times)
+        self._times = np.concatenate([self._times, np.empty(len(self._times))])
+        self._node_buf = np.concatenate(
+            [self._node_buf, np.empty(self._node_buf.shape)], axis=1
+        )
+        self._branch_buf = np.concatenate(
+            [self._branch_buf, np.empty(self._branch_buf.shape)], axis=1
+        )
+        assert len(self._times) == new_capacity
+
+    def finalise(self, circuit_name: str) -> TransientResult:
+        """Trim the buffers and wrap them as a :class:`TransientResult`."""
+        n = self._count
+        return TransientResult(
+            circuit_name=circuit_name,
+            time=self._times[:n].copy(),
+            node_voltages={
+                node: self._node_buf[row, :n].copy()
+                for row, node in enumerate(self._nodes)
+            },
+            branch_currents={
+                device.name: self._branch_buf[row, :n].copy()
+                for row, device in enumerate(self._devices)
+            },
+        )
+
+
 def transient_analysis(
     circuit: Circuit,
     *,
@@ -71,8 +168,10 @@ def transient_analysis(
     use_initial_conditions: bool = False,
     record_nodes: Optional[Sequence[str]] = None,
     options: Optional[SolverOptions] = None,
+    adaptive: bool = False,
+    max_step: Optional[ValueLike] = None,
 ) -> TransientResult:
-    """Run a fixed-step backward-Euler transient simulation.
+    """Run a backward-Euler transient simulation.
 
     Parameters
     ----------
@@ -80,7 +179,10 @@ def transient_analysis(
         The circuit to simulate.
     stop_time, time_step:
         Simulation length and step (SPICE-style strings accepted,
-        e.g. ``"2u"``, ``"1n"``).
+        e.g. ``"2u"``, ``"1n"``).  In adaptive mode ``time_step`` is the
+        *base* step: the controller never shrinks the accepted step below
+        it (stiff intervals are still subdivided internally) and grows it
+        up to ``max_step`` while Newton converges quickly.
     initial_voltages:
         Optional starting node voltages.  When ``use_initial_conditions`` is
         False these only seed the DC operating-point solve.
@@ -90,6 +192,13 @@ def transient_analysis(
         capacitor ``initial_voltage`` attributes.
     record_nodes:
         Restrict recording to these nodes (all nodes by default).
+    adaptive:
+        Enable the adaptive time-step controller.  The output time grid is
+        then non-uniform (one point per accepted step); fixed-step mode
+        keeps the exact uniform grid of previous releases.
+    max_step:
+        Adaptive mode only: upper bound on the grown step.  Defaults to
+        ``16 * time_step`` (clamped to ``stop_time``).
     """
     stop_time = check_positive(parse_value(stop_time), "stop_time")
     time_step = check_positive(parse_value(time_step), "time_step")
@@ -123,39 +232,101 @@ def transient_analysis(
         initial = newton_solve(system, dc_state, guess, options)
 
     n_steps = int(round(stop_time / time_step))
-    times = np.linspace(0.0, n_steps * time_step, n_steps + 1)
-
     recorded = list(record_nodes) if record_nodes is not None else system.node_names
-    traces: Dict[str, List[float]] = {node: [] for node in recorded}
     branch_devices = [d for d in circuit.devices if d.n_branches]
-    branch_traces: Dict[str, List[float]] = {d.name: [] for d in branch_devices}
+    recorder = _TraceRecorder(system, recorded, branch_devices, n_steps + 1)
 
-    def record(solution: np.ndarray) -> None:
-        for node in recorded:
-            traces[node].append(system.voltage_of(solution, node))
-        for device in branch_devices:
-            branch_traces[device.name].append(system.branch_current_of(solution, device))
-
-    solution = initial
-    record(solution)
-    for step in range(1, n_steps + 1):
-        solution = _advance(
-            system, solution, times[step - 1], times[step], options, depth=0
+    recorder.append(0.0, initial)
+    if adaptive:
+        _run_adaptive(
+            system,
+            initial,
+            recorder,
+            stop_time=stop_time,
+            base_step=time_step,
+            max_step=parse_value(max_step) if max_step is not None else None,
+            options=options,
         )
-        record(solution)
+    else:
+        times = np.linspace(0.0, n_steps * time_step, n_steps + 1)
+        solution = initial
+        for step in range(1, n_steps + 1):
+            solution = _advance(
+                system, solution, times[step - 1], times[step], options, depth=0
+            )
+            recorder.append(times[step], solution)
 
-    return TransientResult(
-        circuit_name=circuit.name,
-        time=times,
-        node_voltages={node: np.asarray(v) for node, v in traces.items()},
-        branch_currents={name: np.asarray(v) for name, v in branch_traces.items()},
-    )
+    return recorder.finalise(circuit.name)
 
 
 #: Maximum number of recursive step subdivisions attempted on a convergence
 #: failure (each level splits the interval into :data:`_SUBDIVISION_FACTOR`).
 _MAX_SUBDIVISION_DEPTH = 4
 _SUBDIVISION_FACTOR = 4
+
+#: Adaptive controller tuning: grow the step after a solve this fast (Newton
+#: iterations), shrink it after one this slow, by these factors.
+_FAST_ITERATIONS = 8
+_SLOW_ITERATIONS = 40
+_GROWTH_FACTOR = 2.0
+_SHRINK_FACTOR = 0.5
+_DEFAULT_MAX_STEP_MULTIPLE = 16.0
+
+
+@dataclass
+class StepDiagnostics:
+    """Per-step feedback from :func:`_advance` to the adaptive controller."""
+
+    newton_iterations: int = 0
+    subdivisions: int = 0
+    #: True when any solve in the step only converged via gmin stepping — a
+    #: stiffness signal even when the final stage's iteration count is low.
+    used_gmin_stepping: bool = False
+
+    @property
+    def struggled(self) -> bool:
+        """The step needed a rescue; the controller must not grow from it."""
+        return bool(self.subdivisions) or self.used_gmin_stepping
+
+
+def _run_adaptive(
+    system: MNASystem,
+    solution: np.ndarray,
+    recorder: _TraceRecorder,
+    *,
+    stop_time: float,
+    base_step: float,
+    max_step: Optional[float],
+    options: SolverOptions,
+) -> None:
+    """Advance to ``stop_time`` with a growing/shrinking accepted step.
+
+    The accepted step never drops below ``base_step`` — stiff transitions
+    inside a step are handled by :func:`_advance`'s recursive subdivision —
+    and never exceeds ``max_step``.  After a cleanly converged fast solve
+    the step doubles; after a subdivided or slow solve it halves.
+    """
+    if max_step is None:
+        max_step = _DEFAULT_MAX_STEP_MULTIPLE * base_step
+    max_step = min(max(max_step, base_step), stop_time)
+    t = 0.0
+    dt = base_step
+    # Guard against float-accumulation stutter at the end of the interval.
+    tail_tolerance = 1e-9 * stop_time
+    while stop_time - t > tail_tolerance:
+        dt_step = min(dt, stop_time - t)
+        diagnostics = StepDiagnostics()
+        solution = _advance(
+            system, solution, t, t + dt_step, options, depth=0, diagnostics=diagnostics
+        )
+        t += dt_step
+        recorder.append(min(t, stop_time), solution)
+        if diagnostics.struggled:
+            dt = max(dt_step * _SHRINK_FACTOR, base_step)
+        elif diagnostics.newton_iterations <= _FAST_ITERATIONS:
+            dt = min(dt * _GROWTH_FACTOR, max_step)
+        elif diagnostics.newton_iterations >= _SLOW_ITERATIONS:
+            dt = max(dt * _SHRINK_FACTOR, base_step)
 
 
 def _advance(
@@ -166,12 +337,14 @@ def _advance(
     options: SolverOptions,
     *,
     depth: int,
+    diagnostics: Optional[StepDiagnostics] = None,
 ) -> np.ndarray:
     """Advance the circuit from ``t_start`` to ``t_stop`` in one step.
 
     If Newton-Raphson fails (typically during a regenerative transition such
     as the Axon-Hillock firing edge), the interval is subdivided recursively
-    with a smaller local time step.
+    with a smaller local time step, up to :data:`_MAX_SUBDIVISION_DEPTH`
+    levels; the failure is re-raised once the depth budget is exhausted.
     """
     state = StampState(
         system=system,
@@ -180,14 +353,29 @@ def _advance(
         dt=t_stop - t_start,
         previous=solution,
     )
+    stats = NewtonStats() if diagnostics is not None else None
     try:
-        return newton_solve(system, state, solution, options)
+        result = newton_solve(system, state, solution, options, stats=stats)
+        if diagnostics is not None:
+            diagnostics.newton_iterations = max(
+                diagnostics.newton_iterations, stats.iterations
+            )
+            diagnostics.used_gmin_stepping |= stats.used_gmin_stepping
+        return result
     except ConvergenceError:
         if depth >= _MAX_SUBDIVISION_DEPTH:
             raise
+    if diagnostics is not None:
+        diagnostics.subdivisions += 1
     sub_times = np.linspace(t_start, t_stop, _SUBDIVISION_FACTOR + 1)
     for sub_start, sub_stop in zip(sub_times[:-1], sub_times[1:]):
         solution = _advance(
-            system, solution, float(sub_start), float(sub_stop), options, depth=depth + 1
+            system,
+            solution,
+            float(sub_start),
+            float(sub_stop),
+            options,
+            depth=depth + 1,
+            diagnostics=diagnostics,
         )
     return solution

@@ -17,6 +17,7 @@ corrupts and by how much, and (c) how to apply itself to a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.attacks.injector import FaultInjector, FaultRecord, FaultSiteSelection
@@ -186,8 +187,10 @@ class Attack5GlobalSupply(PowerAttack):
         check_positive(self.vdd, "vdd")
 
     def _map(self) -> VddToParameterMap:
+        # Never mutate self: the attack object doubles as a cache/task key in
+        # the execution subsystem, and must stay cheap to pickle.
         if self.parameter_map is None:
-            self.parameter_map = behavioural_parameter_map()
+            return _default_parameter_map()
         return self.parameter_map
 
     def induced_theta_scale(self) -> float:
@@ -209,3 +212,9 @@ class Attack5GlobalSupply(PowerAttack):
 
     def label(self) -> str:
         return f"attack5(vdd={self.vdd:.2f}V)"
+
+
+@lru_cache(maxsize=1)
+def _default_parameter_map() -> VddToParameterMap:
+    """The shared default calibration map (built once per process)."""
+    return behavioural_parameter_map()

@@ -8,6 +8,11 @@ The campaign object wraps a classification pipeline (anything exposing
   Fig. 8b (inhibitory).
 * :meth:`AttackCampaign.sweep_both_layers` — Fig. 8c.
 * :meth:`AttackCampaign.sweep_global_vdd` — Fig. 9a.
+
+Every sweep submits its grid points as one batch to a
+:class:`~repro.exec.executor.SweepExecutor`, so independent evaluations run
+in parallel when the campaign is built with ``workers >= 2`` and the
+baseline is computed exactly once per campaign (not once per sweep).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.attacks.attacks import (
 )
 from repro.attacks.injector import FaultSiteSelection
 from repro.core.results import AttackGridResult, ExperimentResult
+from repro.exec.executor import SweepExecutor
 from repro.neurons.calibration import VddToParameterMap
 from repro.snn.models import EXCITATORY_LAYER, INHIBITORY_LAYER
 from repro.utils.validation import check_in_choices
@@ -75,16 +81,63 @@ class AttackSweep:
 
 
 class AttackCampaign:
-    """Runs families of attacks against one classification pipeline."""
+    """Runs families of attacks against one classification pipeline.
 
-    def __init__(self, pipeline) -> None:
+    Pipeline protocol
+    -----------------
+    The wrapped ``pipeline`` must provide:
+
+    * ``run(attack) -> ExperimentResult`` — train and evaluate one network
+      with the given :class:`~repro.attacks.attacks.PowerAttack` injected
+      (results must be a pure function of the pipeline config and the
+      attack, independent of run order).
+    * ``run_baseline() -> ExperimentResult`` — the attack-free run.
+    * ``.config`` — the experiment configuration.  For parallel execution
+      the config must be picklable and sufficient to rebuild an equivalent
+      pipeline in a worker process (``ClassificationPipeline(config)``);
+      pass a custom ``executor`` with a ``pipeline_factory`` otherwise.
+
+    Parameters
+    ----------
+    pipeline:
+        The evaluation pipeline (see protocol above).
+    executor:
+        Optional pre-configured :class:`SweepExecutor`.  It must wrap the
+        *same* pipeline as the campaign (sweeps execute through the
+        executor; a mismatch would attribute another experiment's results
+        to this campaign's config, so it is rejected).  Sharing one
+        executor across campaigns over the same pipeline shares its result
+        cache too.
+    workers:
+        Convenience shortcut: when ``executor`` is not given, build one
+        with this many worker processes (``0``/``1`` = serial).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        *,
+        executor: Optional[SweepExecutor] = None,
+        workers: int = 0,
+    ) -> None:
         self.pipeline = pipeline
+        if (
+            executor is not None
+            and executor._pipeline is not None
+            and executor._pipeline is not pipeline
+        ):
+            raise ValueError(
+                "the executor wraps a different pipeline than the campaign; "
+                "sweeps run through the executor, so results would be "
+                "attributed to the wrong experiment"
+            )
+        self.executor = executor or SweepExecutor(pipeline, workers=workers)
 
     # --------------------------------------------------------------- baselines
     @property
     def baseline_accuracy(self) -> float:
-        """Accuracy of the attack-free run."""
-        return self.pipeline.run_baseline().accuracy
+        """Accuracy of the attack-free run (evaluated once per campaign)."""
+        return self.executor.run_baseline().accuracy
 
     # ------------------------------------------------------------ Fig. 7b
     def sweep_attack1_theta(
@@ -92,19 +145,24 @@ class AttackCampaign:
         theta_changes: Sequence[float] = DEFAULT_THETA_CHANGES,
     ) -> AttackSweep:
         """Attack 1: accuracy vs per-spike membrane-charge (theta) change."""
+        attacks: List[Optional[PowerAttack]] = [
+            None if abs(change) < 1e-12
+            else Attack1InputSpikeCorruption(theta_change=float(change))
+            for change in theta_changes
+        ]
+        # The leading None puts the baseline in the batch (it is evaluated
+        # first on the serial path), so every attacked result can carry its
+        # baseline accuracy regardless of execution mode.
+        results = self.executor.map([None] + attacks)[1:]
         sweep = AttackSweep(
             name="attack1_theta_sweep",
             parameter="theta_change",
             values=np.asarray(theta_changes, dtype=float),
             baseline_accuracy=self.baseline_accuracy,
         )
-        for change in theta_changes:
-            if abs(change) < 1e-12:
-                result = self.pipeline.run_baseline()
-                attack: PowerAttack = Attack1InputSpikeCorruption(theta_change=0.0)
-            else:
-                attack = Attack1InputSpikeCorruption(theta_change=float(change))
-                result = self.pipeline.run(attack)
+        for attack, result in zip(attacks, results):
+            if attack is None:
+                attack = Attack1InputSpikeCorruption(theta_change=0.0)
             sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
         return sweep
 
@@ -124,19 +182,23 @@ class AttackCampaign:
             if layer == EXCITATORY_LAYER
             else Attack3InhibitoryThreshold
         )
-        baseline = self.baseline_accuracy
-        accuracies = np.zeros((len(threshold_changes), len(fractions)))
-        for i, change in enumerate(threshold_changes):
-            for j, fraction in enumerate(fractions):
+        attacks: List[Optional[PowerAttack]] = []
+        for change in threshold_changes:
+            for fraction in fractions:
                 if fraction == 0.0:
-                    accuracies[i, j] = baseline
-                    continue
-                attack = attack_cls(
-                    threshold_change=float(change),
-                    fraction=float(fraction),
-                    selection=selection,
-                )
-                accuracies[i, j] = self.pipeline.run(attack).accuracy
+                    attacks.append(None)
+                else:
+                    attacks.append(
+                        attack_cls(
+                            threshold_change=float(change),
+                            fraction=float(fraction),
+                            selection=selection,
+                        )
+                    )
+        results = self.executor.map([None] + attacks)[1:]
+        accuracies = np.array([result.accuracy for result in results]).reshape(
+            (len(threshold_changes), len(fractions))
+        )
         return AttackGridResult(
             name=f"{layer}_threshold_sweep",
             row_parameter="threshold_change",
@@ -144,7 +206,7 @@ class AttackCampaign:
             row_values=np.asarray(threshold_changes, dtype=float),
             column_values=np.asarray(fractions, dtype=float),
             accuracies=accuracies,
-            baseline_accuracy=baseline,
+            baseline_accuracy=self.baseline_accuracy,
             scale_name=self.pipeline.config.scale_name,
             metadata={"layer": layer, "selection": selection.value},
         )
@@ -155,15 +217,18 @@ class AttackCampaign:
         threshold_changes: Sequence[float] = DEFAULT_THRESHOLD_CHANGES,
     ) -> AttackSweep:
         """Attack 4: accuracy vs threshold change applied to both layers."""
+        attacks = [
+            Attack4BothLayerThreshold(threshold_change=float(change))
+            for change in threshold_changes
+        ]
+        results = self.executor.map([None] + attacks)[1:]
         sweep = AttackSweep(
             name="attack4_both_layers",
             parameter="threshold_change",
             values=np.asarray(threshold_changes, dtype=float),
             baseline_accuracy=self.baseline_accuracy,
         )
-        for change in threshold_changes:
-            attack = Attack4BothLayerThreshold(threshold_change=float(change))
-            result = self.pipeline.run(attack)
+        for attack, result in zip(attacks, results):
             sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
         return sweep
 
@@ -176,19 +241,24 @@ class AttackCampaign:
         parameter_map: Optional[VddToParameterMap] = None,
     ) -> AttackSweep:
         """Attack 5: accuracy vs the shared supply voltage (black box)."""
+        attacks: List[Optional[PowerAttack]] = []
+        placeholders: List[PowerAttack] = []
+        for vdd in vdd_values:
+            attack = Attack5GlobalSupply(
+                vdd=float(vdd), neuron_type=neuron_type, parameter_map=parameter_map
+            )
+            placeholders.append(attack)
+            if abs(float(vdd) - attack.threat_model.nominal_vdd) < 1e-9:
+                attacks.append(None)
+            else:
+                attacks.append(attack)
+        results = self.executor.map([None] + attacks)[1:]
         sweep = AttackSweep(
             name="attack5_global_vdd",
             parameter="vdd",
             values=np.asarray(vdd_values, dtype=float),
             baseline_accuracy=self.baseline_accuracy,
         )
-        for vdd in vdd_values:
-            attack = Attack5GlobalSupply(
-                vdd=float(vdd), neuron_type=neuron_type, parameter_map=parameter_map
-            )
-            if abs(float(vdd) - attack.threat_model.nominal_vdd) < 1e-9:
-                result = self.pipeline.run_baseline()
-            else:
-                result = self.pipeline.run(attack)
+        for attack, result in zip(placeholders, results):
             sweep.outcomes.append(AttackOutcome(attack=attack, result=result))
         return sweep

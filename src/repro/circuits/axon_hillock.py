@@ -171,11 +171,14 @@ def simulate_axon_hillock(
     input_source=None,
     stop_time: ValueLike = "2u",
     time_step: ValueLike = "2n",
+    adaptive: bool = False,
 ):
     """Transient simulation of the Axon-Hillock neuron (paper Fig. 3).
 
     Returns the :class:`~repro.analog.transient.TransientResult`; the
-    membrane is node ``vmem`` and the output is node ``vout``.
+    membrane is node ``vmem`` and the output is node ``vout``.  Pass
+    ``adaptive=True`` for the adaptive-step engine (several times fewer
+    solves on long waveforms, at the cost of a non-uniform time grid).
     """
     circuit = build_axon_hillock(design, input_source=input_source)
     return transient_analysis(
@@ -184,4 +187,5 @@ def simulate_axon_hillock(
         time_step=time_step,
         use_initial_conditions=True,
         record_nodes=["vmem", "va", "vout", "vreset"],
+        adaptive=adaptive,
     )

@@ -97,6 +97,22 @@ class ExperimentConfig:
         )
 
     @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Sub-smoke scale for executor parity checks (~1 s per run).
+
+        Too small for meaningful accuracy — use it only where the *value*
+        under test is determinism (serial vs parallel, run-order
+        independence), not classification quality.
+        """
+        return cls(
+            n_train=40,
+            n_eval=20,
+            time_steps=60,
+            network=DiehlAndCookParameters(n_neurons=32, norm=140.0),
+            scale_name="tiny",
+        )
+
+    @classmethod
     def from_environment(cls, default: str = "benchmark") -> "ExperimentConfig":
         """Pick a preset by the ``REPRO_SCALE`` environment variable."""
         scale = os.environ.get("REPRO_SCALE", default).strip().lower()

@@ -10,7 +10,8 @@ framing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import zlib
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +45,17 @@ class ClassificationPipeline:
     reused across runs, so baseline and attacked runs see identical images
     and identical Poisson seeds — accuracy differences are attributable to
     the injected faults alone.
+
+    Every random stream consumed by :meth:`run` (weight init, Poisson
+    encoding, fault-site selection) is derived from ``config.seed`` and the
+    attack label alone — never from mutable state accumulated by earlier
+    runs.  Two consequences the execution subsystem relies on:
+
+    * ``run(attack)`` is a pure function of ``(config, attack)``: the same
+      attack gives bit-identical results regardless of run order.
+    * A pipeline rebuilt from the same config in another process (see
+      :class:`repro.exec.executor.PipelineFromConfig`) produces the same
+      results, so parallel sweeps match serial sweeps exactly.
     """
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
@@ -51,9 +63,6 @@ class ClassificationPipeline:
         root = RandomState(self.config.seed, name="pipeline")
         self._dataset_rng = root.spawn("dataset")
         self._split_rng = root.spawn("split")
-        self._network_seed_rng = root.spawn("network")
-        self._encoding_seed = root.spawn("encoding")
-        self._fault_seed = root.spawn("faults")
 
         dataset = SyntheticDigits(
             n_samples=self.config.n_samples, seed=self._dataset_rng
@@ -117,12 +126,26 @@ class ClassificationPipeline:
         accuracy = classification_accuracy(predictions, self.eval_labels)
         return accuracy, float(counts.sum(axis=1).mean())
 
+    def _fault_rng(self, attack: PowerAttack) -> RandomState:
+        """Fault-site selection stream for one attack.
+
+        Keyed on ``(config.seed, crc32(attack.label()))`` so the stream is a
+        pure function of the configuration and the attack — independent of
+        how many runs happened before, of the process running it, and of
+        Python's per-process hash randomisation.  This is what makes
+        parallel sweeps bit-identical to serial ones.
+        """
+        label_key = zlib.crc32(attack.label().encode("utf-8"))
+        return RandomState(
+            (self.config.seed, label_key), name=f"faults[{attack.label()}]"
+        )
+
     # ------------------------------------------------------------------- runs
     def run(self, attack: Optional[PowerAttack] = None) -> ExperimentResult:
         """Train and evaluate one network, optionally under a persistent attack."""
         attack = attack or NoAttack()
         network = self.build_network()
-        injector = FaultInjector(network, rng=self._fault_seed.spawn(attack.label()))
+        injector = FaultInjector(network, rng=self._fault_rng(attack))
         records = attack.apply(injector)
         self.train(network)
         assignments, _rates = self.assign(network)
@@ -143,6 +166,30 @@ class ClassificationPipeline:
         if isinstance(attack, NoAttack) and self._baseline_result is None:
             self._baseline_result = result
         return result
+
+    def run_many(
+        self,
+        attacks: Sequence[Optional[PowerAttack]],
+        *,
+        workers: int = 0,
+        executor=None,
+    ) -> List[ExperimentResult]:
+        """Evaluate a batch of attacks through the execution subsystem.
+
+        ``None`` entries request the attack-free baseline.  With
+        ``workers >= 2`` the evaluations fan out over a process pool (each
+        worker rebuilds this pipeline from ``self.config``); accuracies and
+        spike counts are identical to the serial path either way.  The
+        back-referencing ``baseline_accuracy`` field is filled on attacked
+        results only once the baseline is known to the executor — include a
+        ``None`` entry in the batch (as the campaign sweeps do) to guarantee
+        it in both modes; without one, a serial run may still inherit it
+        from this pipeline's cached baseline while a parallel run cannot.
+        """
+        from repro.exec.executor import SweepExecutor
+
+        executor = executor or SweepExecutor(self, workers=workers)
+        return executor.map(attacks)
 
     def run_baseline(self) -> ExperimentResult:
         """Run (or return the cached) attack-free experiment."""

@@ -1,11 +1,15 @@
-"""Plain-text reporting of attack results in the paper's figure format."""
+"""Plain-text reporting of attack results in the paper's figure format,
+plus execution instrumentation from the sweep executor."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.results import AttackGridResult, ExperimentResult
 from repro.utils.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.exec.executor import ExecutionStats
 
 
 def format_experiment_result(result: ExperimentResult) -> str:
@@ -74,3 +78,24 @@ def format_sweep_series(
         rows,
         title=f"{title} (baseline {baseline_accuracy:.4f})",
     )
+
+
+def format_execution_report(stats: "ExecutionStats", *, slowest: int = 5) -> str:
+    """Render a :class:`~repro.exec.executor.ExecutionStats` summary.
+
+    Shows how much work the executor did, how much the cache saved, and the
+    measured parallel speedup (summed task time over wall-clock time).
+    """
+    mode = f"parallel ({stats.workers} workers)" if stats.workers >= 2 else "serial"
+    rows = [
+        ("mode", mode),
+        ("batches", str(stats.batches)),
+        ("tasks executed", str(stats.tasks_executed)),
+        ("cache hits", str(stats.cache_hits)),
+        ("wall-clock time", f"{stats.wall_seconds:.2f} s"),
+        ("summed task time", f"{stats.task_seconds:.2f} s"),
+        ("measured speedup", f"{stats.speedup_estimate():.2f}x"),
+    ]
+    for timing in stats.slowest_tasks(slowest):
+        rows.append((f"slowest: {timing.key}", f"{timing.seconds:.2f} s"))
+    return format_table(["quantity", "value"], rows, title="sweep execution")

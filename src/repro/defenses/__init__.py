@@ -12,6 +12,8 @@
   (Fig. 10b/10c).
 * :mod:`repro.defenses.overhead` — area/power overhead accounting for every
   defense.
+* :mod:`repro.defenses.evaluation` — accuracy-recovery evaluation of the
+  threshold defenses through the classification pipeline (executor-backed).
 """
 
 from repro.defenses.robust_driver import RobustDriverDefense
@@ -19,9 +21,12 @@ from repro.defenses.bandgap_threshold import BandgapThresholdDefense
 from repro.defenses.sizing import SizingDefense, SizingSweepPoint
 from repro.defenses.comparator_neuron import ComparatorNeuronDefense
 from repro.defenses.dummy_detector import DetectionOutcome, DummyNeuronDetector
+from repro.defenses.evaluation import DefendedAccuracyPoint, DefenseAccuracyEvaluator
 from repro.defenses.overhead import DefenseOverhead, overhead_report
 
 __all__ = [
+    "DefendedAccuracyPoint",
+    "DefenseAccuracyEvaluator",
     "RobustDriverDefense",
     "BandgapThresholdDefense",
     "SizingDefense",

@@ -1,0 +1,116 @@
+"""Accuracy-recovery evaluation of the threshold defenses (Fig. 9c, Fig. 10a).
+
+The circuit-tier defense modules answer "how much threshold corruption
+survives the defense"; this module closes the loop by running the *residual*
+corruption through the classification pipeline and comparing the defended
+accuracy against the undefended attack and the baseline.  All pipeline runs
+are submitted as one batch through a
+:class:`~repro.exec.executor.SweepExecutor`, so evaluating several defenses
+shares the baseline and parallelises across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.attacks.attacks import Attack4BothLayerThreshold
+from repro.core.results import ExperimentResult
+from repro.exec.executor import SweepExecutor
+
+
+@dataclass
+class DefendedAccuracyPoint:
+    """Accuracy of one defense against the undefended attack and baseline."""
+
+    defense_name: str
+    residual_threshold_change: float
+    defended: ExperimentResult
+    undefended: ExperimentResult
+    baseline: ExperimentResult
+
+    @property
+    def accuracy_recovered(self) -> float:
+        """Accuracy regained by the defense over the undefended attack."""
+        return self.defended.accuracy - self.undefended.accuracy
+
+    @property
+    def residual_degradation(self) -> float:
+        """Accuracy still lost to the residual corruption, vs the baseline."""
+        if self.baseline.accuracy == 0.0:
+            return 0.0
+        return (
+            self.baseline.accuracy - self.defended.accuracy
+        ) / self.baseline.accuracy
+
+    def as_row(self) -> tuple:
+        """Table row: (defense, residual change, defended acc, undefended acc)."""
+        return (
+            self.defense_name,
+            f"{self.residual_threshold_change:+.2%}",
+            f"{self.defended.accuracy:.4f}",
+            f"{self.undefended.accuracy:.4f}",
+        )
+
+
+class DefenseAccuracyEvaluator:
+    """Evaluates threshold defenses by their residual accuracy impact.
+
+    Parameters
+    ----------
+    pipeline:
+        The classification pipeline (campaign pipeline protocol).
+    executor:
+        Optional shared :class:`SweepExecutor`; results (in particular the
+        baseline and the undefended attack) are cached across calls.
+    workers:
+        When ``executor`` is not given, build one with this many workers.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        *,
+        executor: Optional[SweepExecutor] = None,
+        workers: int = 0,
+    ) -> None:
+        self.pipeline = pipeline
+        self.executor = executor or SweepExecutor(pipeline, workers=workers)
+
+    def evaluate_threshold_defenses(
+        self,
+        residual_changes: Mapping[str, float],
+        *,
+        undefended_change: float = -0.2,
+    ) -> List[DefendedAccuracyPoint]:
+        """Accuracy of each defense's residual corruption vs the raw attack.
+
+        Parameters
+        ----------
+        residual_changes:
+            Mapping from defense name to the signed threshold change that
+            survives that defense (e.g. ``{"32x sizing": -0.0523}`` from
+            ``SizingDefense.residual_threshold_scale(...) - 1``).
+        undefended_change:
+            The threshold change of the unmitigated attack (paper: −20 %).
+        """
+        names = list(residual_changes)
+        attacks = [None, Attack4BothLayerThreshold(threshold_change=undefended_change)]
+        attacks += [
+            Attack4BothLayerThreshold(
+                threshold_change=float(residual_changes[name])
+            )
+            for name in names
+        ]
+        results = self.executor.map(attacks)
+        baseline, undefended = results[0], results[1]
+        return [
+            DefendedAccuracyPoint(
+                defense_name=name,
+                residual_threshold_change=float(residual_changes[name]),
+                defended=defended,
+                undefended=undefended,
+                baseline=baseline,
+            )
+            for name, defended in zip(names, results[2:])
+        ]

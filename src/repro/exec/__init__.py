@@ -1,0 +1,39 @@
+"""Execution subsystem: parallel sweep execution with caching and timing.
+
+The attack figures are parameter sweeps — dozens of *independent*
+train-and-evaluate pipeline runs per figure.  This package factors the
+"run many configurations" loop out of the sweep drivers:
+
+* :class:`~repro.exec.executor.SweepExecutor` — fans independent attack
+  evaluations out over a process pool (``workers > 1``) or runs them inline
+  (``workers <= 1``, the deterministic debugging default).
+* :class:`~repro.exec.cache.ResultCache` — a keyed result cache so the
+  baseline and repeated attack configurations are evaluated once per
+  campaign instead of once per sweep.
+* :class:`~repro.exec.executor.ExecutionStats` — wall-clock and per-task
+  timing, rendered through :func:`repro.core.reporting.format_execution_report`.
+
+Parallel execution is bit-identical to serial execution: every pipeline run
+derives its random streams from ``(config.seed, attack label)`` alone, never
+from shared mutable RNG state, so results do not depend on which worker runs
+which task or in what order.
+"""
+
+from repro.exec.cache import ResultCache, attack_cache_key
+from repro.exec.executor import (
+    ExecutionStats,
+    PipelineFromConfig,
+    SweepExecutor,
+    TaskTiming,
+    default_worker_count,
+)
+
+__all__ = [
+    "ResultCache",
+    "attack_cache_key",
+    "ExecutionStats",
+    "PipelineFromConfig",
+    "SweepExecutor",
+    "TaskTiming",
+    "default_worker_count",
+]

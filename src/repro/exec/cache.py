@@ -1,0 +1,154 @@
+"""Keyed caching of sweep results.
+
+Sweeps repeat configurations: every sweep needs the attack-free baseline,
+2-D grids include a ``fraction == 0`` column that is the baseline in
+disguise, and ablation studies revisit the same attack at several places.
+The cache keys results on the *content* of the attack object so each unique
+configuration is evaluated exactly once per campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import itertools
+import weakref
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Cache key used for the attack-free baseline run.
+BASELINE_KEY = "baseline"
+
+
+def attack_cache_key(attack) -> str:
+    """A deterministic, content-based cache key for an attack configuration.
+
+    ``None`` (and :class:`~repro.attacks.attacks.NoAttack`) map to
+    :data:`BASELINE_KEY`.  Dataclass attacks are keyed on their class name
+    plus every parameter field; cosmetic fields (``name``, ``description``)
+    and the threat model are excluded.  Nested dataclasses (e.g. a custom
+    calibrated parameter map) are keyed recursively by *content*, NumPy
+    arrays by a digest of their bytes.  Anything else falls back to a
+    monotonically issued identity token that is never reused even after the
+    object is garbage collected — so the fallback can only cause cache
+    *misses*, never wrong hits.
+    """
+    if attack is None:
+        return BASELINE_KEY
+    if type(attack).__name__ == "NoAttack":
+        return BASELINE_KEY
+    if not dataclasses.is_dataclass(attack):
+        # Fall back to the display label for non-dataclass pipeline work.
+        return f"{type(attack).__name__}:{attack.label()}"
+    parts = [type(attack).__name__]
+    for field in dataclasses.fields(attack):
+        if field.name in ("name", "description", "threat_model"):
+            continue
+        value = getattr(attack, field.name)
+        parts.append(f"{field.name}={_stable_repr(value)}")
+    return "|".join(parts)
+
+
+def _stable_repr(value) -> str:
+    """A repr that is stable for the value types attacks actually carry."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
+        return f"ndarray({value.dtype},{value.shape},{digest})"
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_stable_repr(item) for item in value)
+        return f"[{inner}]"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda pair: repr(pair[0]))
+        inner = ",".join(f"{_stable_repr(k)}:{_stable_repr(v)}" for k, v in items)
+        return "{" + inner + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{f.name}={_stable_repr(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({inner})"
+    return _identity_token(value)
+
+
+#: id() → (weakref, token) for values keyed by identity.  Tokens come from a
+#: process-wide counter and are never reissued, so a recycled id() after
+#: garbage collection yields a *new* token (a cache miss) instead of silently
+#: aliasing a dead object's key.
+_IDENTITY_TOKENS: Dict[int, Tuple[object, str]] = {}
+_TOKEN_COUNTER = itertools.count()
+
+
+def _identity_token(value) -> str:
+    key = id(value)
+    entry = _IDENTITY_TOKENS.get(key)
+    if entry is not None:
+        ref, token = entry
+        if ref() is value:
+            return token
+    token = f"<{type(value).__name__}#{next(_TOKEN_COUNTER)}>"
+
+    def _prune(dead_ref, _key=key):
+        # Only drop the entry if it still belongs to the dead object; its
+        # id() may already have been recycled and re-registered.
+        entry = _IDENTITY_TOKENS.get(_key)
+        if entry is not None and entry[0] is dead_ref:
+            del _IDENTITY_TOKENS[_key]
+
+    try:
+        ref = weakref.ref(value, _prune)
+    except TypeError:
+        # Lifetime not trackable: a fresh token per call means such attacks
+        # are simply never cached (misses only, never a stale hit).
+        return token
+    _IDENTITY_TOKENS[key] = (ref, token)
+    return token
+
+
+def scope_key(source) -> str:
+    """Cache namespace for one experiment configuration.
+
+    Results are only interchangeable between runs of the *same* experiment,
+    so executors prefix every attack key with this scope — computed from the
+    content of the pipeline's config when it is a dataclass (two pipelines
+    built from equal configs share results), and from object identity
+    otherwise (never aliasing two unrelated experiments).
+    """
+    return _stable_repr(source)
+
+
+class ResultCache:
+    """In-memory map from attack cache key to experiment result.
+
+    Hit/miss accounting lives in the executor's
+    :class:`~repro.exec.executor.ExecutionStats`, not here — the cache is
+    plain storage so it can be shared between executors.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def peek(self, key: str) -> Optional[object]:
+        """Cached result for ``key`` (``None`` when absent)."""
+        return self._results.get(key)
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` (overwrites silently)."""
+        self._results[key] = result
+
+    def clear(self) -> None:
+        """Drop every cached result."""
+        self._results.clear()

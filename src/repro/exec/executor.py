@@ -1,0 +1,378 @@
+"""The sweep executor: serial or process-parallel attack evaluation.
+
+Every task is one pipeline evaluation — ``pipeline.run(attack)`` or, for
+``attack=None``, ``pipeline.run_baseline()``.  Tasks are independent by
+construction (each run trains a fresh network from seeds derived from the
+experiment config and the attack label alone), so they parallelise across
+processes without any shared state.
+
+Worker processes do **not** receive the parent's pipeline object.  They
+rebuild an equivalent pipeline once per worker from a picklable factory
+(by default :class:`PipelineFromConfig` around ``pipeline.config``), then
+serve every task assigned to them from that private pipeline.  Because all
+pipeline randomness is a pure function of the config seed and the attack
+label, the rebuilt pipelines produce bit-identical results to the parent's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache, attack_cache_key, scope_key
+
+#: Module-global pipeline of the current worker process (set by the pool
+#: initializer, used by every task executed in that worker).
+_WORKER_PIPELINE = None
+
+
+def _initialize_worker(pipeline_factory: Callable[[], object]) -> None:
+    """Build the worker-private pipeline once per pool process."""
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline_factory()
+
+
+def _execute_task(key: str, attack) -> tuple:
+    """Run one attack (or the baseline) on the worker's pipeline."""
+    start = time.perf_counter()
+    if attack is None:
+        result = _WORKER_PIPELINE.run_baseline()
+    else:
+        result = _WORKER_PIPELINE.run(attack)
+    return key, result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class PipelineFromConfig:
+    """Picklable factory that rebuilds a classification pipeline in a worker.
+
+    Rebuilding from the config is cheap relative to one training run and
+    sidesteps pickling the parent pipeline's dataset arrays and RNG state.
+    """
+
+    config: object
+
+    def __call__(self):
+        from repro.core.pipeline import ClassificationPipeline
+
+        return ClassificationPipeline(self.config)
+
+
+@dataclass
+class TaskTiming:
+    """Timing record of one executed task."""
+
+    key: str
+    seconds: float
+    cached: bool = False
+    worker_mode: str = "serial"
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate instrumentation of one executor's lifetime.
+
+    ``speedup_estimate`` compares the summed task time (what a serial run
+    would have cost) with the measured wall-clock time of the parallel
+    batches; it is the executor's own measurement of how much the process
+    pool helped.
+    """
+
+    workers: int = 0
+    tasks_executed: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+    timings: List[TaskTiming] = field(default_factory=list)
+    batches: int = 0
+
+    def record(self, timing: TaskTiming) -> None:
+        self.timings.append(timing)
+        if timing.cached:
+            self.cache_hits += 1
+        else:
+            self.tasks_executed += 1
+            self.task_seconds += timing.seconds
+
+    def speedup_estimate(self) -> float:
+        """Summed task time / wall time (1.0 when nothing ran)."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.task_seconds / self.wall_seconds
+
+    def slowest_tasks(self, count: int = 5) -> List[TaskTiming]:
+        """The ``count`` slowest executed (non-cached) tasks."""
+        executed = [t for t in self.timings if not t.cached]
+        return sorted(executed, key=lambda t: t.seconds, reverse=True)[:count]
+
+
+#: Progress callback signature: (timing, completed_so_far, total_in_batch).
+ProgressCallback = Callable[[TaskTiming, int, int], None]
+
+
+class SweepExecutor:
+    """Runs batches of independent attack evaluations, serially or in parallel.
+
+    Parameters
+    ----------
+    pipeline:
+        The evaluation pipeline.  Anything implementing the campaign's
+        pipeline protocol works: ``run(attack)``, ``run_baseline()`` and a
+        ``config`` attribute.  Required for serial execution; for parallel
+        execution it may be omitted when ``pipeline_factory`` is given.
+    workers:
+        Number of worker processes.  ``0`` or ``1`` selects the serial
+        in-process path (deterministic call order, easiest to debug and
+        profile); ``>= 2`` fans tasks out over a process pool.
+    pipeline_factory:
+        Picklable zero-argument callable building the pipeline inside each
+        worker.  Defaults to :class:`PipelineFromConfig` around
+        ``pipeline.config``.
+    cache:
+        Result cache shared across batches (a fresh one by default).  Pass
+        an explicit cache to share results between several executors.
+    progress:
+        Optional callback invoked after every finished task with
+        ``(timing, done, total)``.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``).  ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        pipeline=None,
+        *,
+        workers: int = 0,
+        pipeline_factory: Optional[Callable[[], object]] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if pipeline is None and pipeline_factory is None:
+            raise ValueError("SweepExecutor needs a pipeline or a pipeline_factory")
+        self._pipeline = pipeline
+        self._factory = pipeline_factory
+        self.workers = max(0, int(workers))
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = ExecutionStats(workers=self.workers)
+        self._progress = progress
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._scope: Optional[str] = None
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def pipeline(self):
+        """The serial-path pipeline (built lazily from the factory if needed)."""
+        if self._pipeline is None:
+            self._pipeline = self._factory()
+        return self._pipeline
+
+    def _worker_factory(self) -> Callable[[], object]:
+        if self._factory is not None:
+            return self._factory
+        config = getattr(self._pipeline, "config", None)
+        if config is None:
+            raise ValueError(
+                "parallel execution needs a picklable pipeline_factory; the "
+                "wrapped pipeline has no .config to rebuild one from"
+            )
+        return PipelineFromConfig(config)
+
+    @property
+    def parallel(self) -> bool:
+        """True when batches are dispatched to a process pool."""
+        return self.workers >= 2
+
+    def _cache_key(self, attack) -> str:
+        """Scoped cache key: experiment-config namespace + attack content.
+
+        The scope prevents a shared cache from serving results computed
+        under a *different* experiment config (different scale, seed, ...):
+        keys from distinct configs never collide.
+        """
+        if self._scope is None:
+            source = self._pipeline if self._pipeline is not None else self._factory
+            self._scope = scope_key(getattr(source, "config", None) or source)
+        return f"{self._scope}::{attack_cache_key(attack)}"
+
+    @property
+    def _baseline_cache_key(self) -> str:
+        return self._cache_key(None)
+
+    # ------------------------------------------------------------------ running
+    def run_baseline(self):
+        """The attack-free result (evaluated once, then served from cache)."""
+        return self.map([None])[0]
+
+    def run_attack(self, attack):
+        """One attacked result (served from cache when already evaluated)."""
+        return self.map([attack])[0]
+
+    def map(self, attacks: Sequence) -> List:
+        """Evaluate every attack in ``attacks`` and return aligned results.
+
+        ``None`` entries request the attack-free baseline.  Duplicate
+        configurations (by :func:`attack_cache_key`) are evaluated once.
+        Results are returned in input order regardless of completion order.
+        """
+        batch_start = time.perf_counter()
+        keys = [self._cache_key(attack) for attack in attacks]
+
+        pending: Dict[str, object] = {}
+        for key, attack in zip(keys, attacks):
+            if key not in self.cache and key not in pending:
+                pending[key] = attack
+
+        total = len(pending)
+        try:
+            if total:
+                if self.parallel and total > 1:
+                    self._run_parallel(pending, total)
+                else:
+                    self._run_serial(pending, total)
+        finally:
+            # Account the batch even when a task failed, so retries see
+            # truthful stats and the completed siblings' timings.
+            self.stats.batches += 1
+            self.stats.wall_seconds += time.perf_counter() - batch_start
+
+        # Every request not satisfied by a fresh evaluation above was a cache
+        # hit — including duplicates of a key evaluated in this same batch.
+        freshly_executed = set()
+        for key in keys:
+            if key in pending and key not in freshly_executed:
+                freshly_executed.add(key)
+                continue
+            self.stats.record(TaskTiming(key=key, seconds=0.0, cached=True))
+
+        self._backfill_baseline(keys)
+        return [self.cache.peek(key) for key in keys]
+
+    def _backfill_baseline(self, keys: Sequence[str]) -> None:
+        """Fill ``baseline_accuracy`` on attacked results once it is known.
+
+        In serial runs the pipeline itself back-references its cached
+        baseline, but a parallel worker that only ever sees attacked tasks
+        cannot.  Normalising here makes the field deterministic — identical
+        for serial and parallel execution — whenever the baseline has been
+        evaluated (the campaign includes it in every sweep batch).
+        """
+        baseline = self.cache.peek(self._baseline_cache_key)
+        baseline_accuracy = getattr(baseline, "accuracy", None)
+        if baseline_accuracy is None:
+            return
+        for key in dict.fromkeys(keys):
+            if key == self._baseline_cache_key:
+                continue
+            result = self.cache.peek(key)
+            if (
+                dataclasses.is_dataclass(result)
+                and getattr(result, "baseline_accuracy", False) is None
+            ):
+                self.cache.put(
+                    key,
+                    dataclasses.replace(result, baseline_accuracy=baseline_accuracy),
+                )
+
+    def _run_serial(self, pending: Dict[str, object], total: int) -> None:
+        done = 0
+        for key, attack in pending.items():
+            start = time.perf_counter()
+            if attack is None:
+                result = self.pipeline.run_baseline()
+            else:
+                result = self.pipeline.run(attack)
+            timing = TaskTiming(
+                key=key, seconds=time.perf_counter() - start, worker_mode="serial"
+            )
+            self.cache.put(key, result)
+            self.stats.record(timing)
+            done += 1
+            if self._progress is not None:
+                self._progress(timing, done, total)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The executor's persistent worker pool (created on first use).
+
+        Keeping one pool per executor means the worker start-up cost — and
+        the per-worker pipeline rebuild in the initializer — is paid once
+        per campaign, not once per sweep batch.
+        """
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self._mp_context)
+                if self._mp_context
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_initialize_worker,
+                initargs=(self._worker_factory(),),
+            )
+        return self._pool
+
+    def _run_parallel(self, pending: Dict[str, object], total: int) -> None:
+        pool = self._ensure_pool()
+        done = 0
+        futures = {
+            pool.submit(_execute_task, key, attack)
+            for key, attack in pending.items()
+        }
+        failures: List[BaseException] = []
+        while futures:
+            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                try:
+                    key, result, seconds = future.result()
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    failures.append(error)
+                    continue
+                timing = TaskTiming(key=key, seconds=seconds, worker_mode="parallel")
+                self.cache.put(key, result)
+                self.stats.record(timing)
+                done += 1
+                if self._progress is not None:
+                    self._progress(timing, done, total)
+        if failures:
+            # Every sibling task was drained first, so completed results are
+            # cached and a retrying map() only re-runs the failed tasks.
+            raise failures[0]
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for serial executors).
+
+        Optional: an unclosed pool is joined at interpreter exit by
+        :mod:`concurrent.futures`; use ``close()`` (or the context-manager
+        form) for deterministic teardown in long-lived processes.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ misc
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the attack-free run (cached)."""
+        return self.run_baseline().accuracy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"parallel(workers={self.workers})" if self.parallel else "serial"
+        return f"SweepExecutor({mode}, cached={len(self.cache)})"
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (``os.cpu_count()``, min 1)."""
+    return max(1, os.cpu_count() or 1)

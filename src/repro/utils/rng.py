@@ -9,12 +9,15 @@ from a single top-level seed.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-#: Accepted seed-like types throughout the library.
-SeedLike = Union[None, int, np.random.Generator, "RandomState"]
+#: Accepted seed-like types throughout the library.  Tuples/lists of ints are
+#: forwarded to :class:`numpy.random.SeedSequence`, which combines them into
+#: one entropy pool — useful for deriving order-independent streams from a
+#: (seed, stable-key) pair.
+SeedLike = Union[None, int, Sequence[int], np.random.Generator, "RandomState"]
 
 
 class RandomState:

@@ -159,3 +159,55 @@ class TestOverheadReport:
         for overhead in overhead_report():
             row = overhead.as_row()
             assert len(row) == 4 and "%" in row[1]
+
+
+class TestDefenseAccuracyEvaluator:
+    class _StubPipeline:
+        """Accuracy falls linearly with |threshold change|; protocol-complete."""
+
+        class _Config:
+            scale_name = "stub"
+
+        def __init__(self):
+            self.config = self._Config()
+            self.run_count = 0
+
+        def run(self, attack):
+            self.run_count += 1
+            from repro.core.results import ExperimentResult
+
+            accuracy = max(0.0, 0.9 - 3.0 * abs(attack.threshold_change))
+            return ExperimentResult(attack_label=attack.label(), accuracy=accuracy)
+
+        def run_baseline(self):
+            self.run_count += 1
+            from repro.core.results import ExperimentResult
+
+            return ExperimentResult(attack_label="baseline", accuracy=0.9)
+
+    def test_defended_beats_undefended(self):
+        from repro.defenses import DefenseAccuracyEvaluator
+
+        pipeline = self._StubPipeline()
+        evaluator = DefenseAccuracyEvaluator(pipeline)
+        points = evaluator.evaluate_threshold_defenses(
+            {"32x sizing": -0.05, "comparator": -0.005}, undefended_change=-0.2
+        )
+        assert [p.defense_name for p in points] == ["32x sizing", "comparator"]
+        for point in points:
+            assert point.defended.accuracy > point.undefended.accuracy
+            assert point.accuracy_recovered > 0
+            assert 0 <= point.residual_degradation < 0.25
+        # comparator leaves less residual corruption than sizing
+        assert points[1].defended.accuracy > points[0].defended.accuracy
+        assert "%" in points[0].as_row()[1]
+
+    def test_results_shared_through_executor_cache(self):
+        from repro.defenses import DefenseAccuracyEvaluator
+
+        pipeline = self._StubPipeline()
+        evaluator = DefenseAccuracyEvaluator(pipeline)
+        evaluator.evaluate_threshold_defenses({"a": -0.05})
+        first_count = pipeline.run_count  # baseline + undefended + defended
+        evaluator.evaluate_threshold_defenses({"a": -0.05})
+        assert pipeline.run_count == first_count  # fully cached

@@ -1,0 +1,248 @@
+"""Tests for the execution subsystem: caching, dedup, serial/parallel parity."""
+
+import dataclasses
+
+import pytest
+
+from repro.attacks import (
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack5GlobalSupply,
+    NoAttack,
+)
+from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.core.reporting import format_execution_report
+from repro.core.results import ExperimentResult
+from repro.exec import ResultCache, SweepExecutor, attack_cache_key
+
+
+@dataclasses.dataclass
+class CountingConfig:
+    scale_name: str = "fake"
+
+
+class CountingPipeline:
+    """Pipeline-protocol stub that counts how often each attack really runs."""
+
+    def __init__(self) -> None:
+        self.config = CountingConfig()
+        self.calls = []
+
+    def run(self, attack) -> ExperimentResult:
+        self.calls.append(attack.label())
+        return ExperimentResult(attack_label=attack.label(), accuracy=0.5)
+
+    def run_baseline(self) -> ExperimentResult:
+        self.calls.append("baseline")
+        return ExperimentResult(attack_label="baseline", accuracy=0.9)
+
+
+def tiny_config() -> ExperimentConfig:
+    """A sub-smoke scale so parallel tests stay fast."""
+    return ExperimentConfig.tiny()
+
+
+class TestCacheKeys:
+    def test_baseline_aliases(self):
+        assert attack_cache_key(None) == attack_cache_key(NoAttack()) == "baseline"
+
+    def test_equal_attacks_share_a_key(self):
+        a = Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.5)
+        b = Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.5)
+        assert a is not b
+        assert attack_cache_key(a) == attack_cache_key(b)
+
+    def test_different_parameters_differ(self):
+        a = Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.5)
+        b = Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.75)
+        c = Attack2ExcitatoryThreshold(threshold_change=0.2, fraction=0.5)
+        assert len({attack_cache_key(x) for x in (a, b, c)}) == 3
+
+    def test_attack5_key_stable_across_runs(self):
+        # Running Attack 5 must not change its key (no self-mutation).
+        attack = Attack5GlobalSupply(vdd=0.8)
+        before = attack_cache_key(attack)
+        attack.induced_theta_scale()
+        attack.induced_threshold_scale()
+        assert attack_cache_key(attack) == before
+
+
+class TestSerialExecutor:
+    def test_dedup_and_cache(self):
+        pipeline = CountingPipeline()
+        executor = SweepExecutor(pipeline)
+        attacks = [
+            None,
+            Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
+            Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
+            None,
+        ]
+        results = executor.map(attacks)
+        # Four requests, two unique evaluations.
+        assert pipeline.calls.count("baseline") == 1
+        assert len(pipeline.calls) == 2
+        assert results[0] is results[3]
+        assert results[1] is results[2]
+        # A second batch is served entirely from cache.
+        again = executor.map(attacks)
+        assert len(pipeline.calls) == 2
+        assert [r is s for r, s in zip(results, again)] == [True] * 4
+        assert executor.stats.tasks_executed == 2
+        assert executor.stats.cache_hits >= 4
+
+    def test_shared_cache_across_executors(self):
+        pipeline = CountingPipeline()
+        cache = ResultCache()
+        first = SweepExecutor(pipeline, cache=cache)
+        first.run_baseline()
+        second = SweepExecutor(pipeline, cache=cache)
+        second.run_baseline()
+        assert pipeline.calls.count("baseline") == 1
+
+    def test_progress_callback(self):
+        pipeline = CountingPipeline()
+        seen = []
+        executor = SweepExecutor(
+            pipeline, progress=lambda timing, done, total: seen.append((done, total))
+        )
+        executor.map([None, Attack3InhibitoryThreshold(threshold_change=0.2)])
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_requires_pipeline_or_factory(self):
+        with pytest.raises(ValueError):
+            SweepExecutor()
+
+    def test_execution_report_renders(self):
+        pipeline = CountingPipeline()
+        executor = SweepExecutor(pipeline)
+        executor.run_baseline()
+        report = format_execution_report(executor.stats)
+        assert "serial" in report
+        assert "tasks executed" in report
+
+
+class TestParallelParity:
+    """Parallel results must be bit-identical to serial ones (fixed seeds)."""
+
+    def test_parallel_equals_serial_on_small_sweep(self):
+        config = tiny_config()
+        attacks = [
+            None,
+            Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.5),
+            Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=1.0),
+            Attack5GlobalSupply(vdd=0.8),
+        ]
+        serial = SweepExecutor(ClassificationPipeline(config), workers=0)
+        serial_results = serial.map(attacks)
+        parallel = SweepExecutor(ClassificationPipeline(config), workers=2)
+        parallel_results = parallel.map(attacks)
+        for left, right in zip(serial_results, parallel_results):
+            assert left.attack_label == right.attack_label
+            assert left.accuracy == right.accuracy  # bit-identical, not approx
+            assert left.mean_excitatory_spikes == right.mean_excitatory_spikes
+        assert parallel.stats.tasks_executed == len(attacks)
+
+    def test_run_order_does_not_change_results(self):
+        # The fault streams are keyed on (seed, attack label), so the same
+        # attack gives the same result no matter what ran before it.
+        config = tiny_config()
+        attack = Attack3InhibitoryThreshold(threshold_change=0.2, fraction=0.5)
+        first = ClassificationPipeline(config).run(attack)
+        pipeline = ClassificationPipeline(config)
+        pipeline.run(Attack5GlobalSupply(vdd=0.8))  # consume other streams
+        second = pipeline.run(attack)
+        assert first.accuracy == second.accuracy
+        assert first.mean_excitatory_spikes == second.mean_excitatory_spikes
+
+    def test_pipeline_run_many_parallel(self):
+        config = tiny_config()
+        pipeline = ClassificationPipeline(config)
+        attacks = [None, Attack5GlobalSupply(vdd=0.8)]
+        serial_results = pipeline.run_many(attacks, workers=0)
+        parallel_results = ClassificationPipeline(config).run_many(attacks, workers=2)
+        for left, right in zip(serial_results, parallel_results):
+            assert left.accuracy == right.accuracy
+
+    def test_campaign_results_carry_baseline_accuracy(self):
+        # Regression: on a fresh pipeline (no pre-run baseline), sweep
+        # outcomes must still reference the baseline so relative_degradation
+        # is computable — identically in serial and parallel mode.
+        from repro.attacks import AttackCampaign
+
+        config = tiny_config()
+        serial_sweep = AttackCampaign(
+            ClassificationPipeline(config)
+        ).sweep_both_layers((-0.2,))
+        parallel_sweep = AttackCampaign(
+            ClassificationPipeline(config), workers=2
+        ).sweep_both_layers((-0.2,))
+        for sweep in (serial_sweep, parallel_sweep):
+            result = sweep.worst_case().result
+            assert result.baseline_accuracy == sweep.baseline_accuracy
+            assert result.relative_degradation is not None
+        assert (
+            serial_sweep.worst_case().result.baseline_accuracy
+            == parallel_sweep.worst_case().result.baseline_accuracy
+        )
+
+
+@dataclasses.dataclass
+class FlakyConfig:
+    scale_name: str = "flaky"
+
+
+class FlakyPipeline:
+    """Picklable pipeline whose run() fails for one specific attack."""
+
+    def __init__(self, config=None) -> None:
+        self.config = config or FlakyConfig()
+
+    def run(self, attack) -> ExperimentResult:
+        if attack.threshold_change == -0.1:
+            raise RuntimeError("injected task failure")
+        return ExperimentResult(attack_label=attack.label(), accuracy=0.5)
+
+    def run_baseline(self) -> ExperimentResult:
+        return ExperimentResult(attack_label="baseline", accuracy=0.9)
+
+
+class TestScopedCacheAndFailures:
+    def test_shared_cache_does_not_alias_different_configs(self):
+        cache = ResultCache()
+        smoke = CountingPipeline()
+        other = CountingPipeline()
+        other.config = CountingConfig(scale_name="other")
+        SweepExecutor(smoke, cache=cache).run_baseline()
+        SweepExecutor(other, cache=cache).run_baseline()
+        # Different config content → different cache scope → both ran.
+        assert smoke.calls.count("baseline") == 1
+        assert other.calls.count("baseline") == 1
+
+    def test_campaign_rejects_mismatched_executor(self):
+        from repro.attacks import AttackCampaign
+
+        pipeline_a, pipeline_b = CountingPipeline(), CountingPipeline()
+        executor = SweepExecutor(pipeline_a)
+        with pytest.raises(ValueError):
+            AttackCampaign(pipeline_b, executor=executor)
+        AttackCampaign(pipeline_a, executor=executor)  # same pipeline: fine
+
+    def test_parallel_failure_preserves_completed_siblings(self):
+        # The stub is not a ClassificationPipeline, so the workers need an
+        # explicit factory (the class itself) instead of PipelineFromConfig.
+        executor = SweepExecutor(
+            FlakyPipeline(), workers=2, pipeline_factory=FlakyPipeline
+        )
+        good = [
+            Attack3InhibitoryThreshold(threshold_change=0.2),
+            Attack3InhibitoryThreshold(threshold_change=0.3),
+        ]
+        bad = Attack3InhibitoryThreshold(threshold_change=-0.1)
+        with pytest.raises(RuntimeError, match="injected task failure"):
+            executor.map(good + [bad])
+        # The two successful siblings were drained into the cache...
+        assert executor.stats.tasks_executed == 2
+        results = executor.map(good)  # ...so a retry serves them from cache.
+        assert executor.stats.tasks_executed == 2
+        assert [r.accuracy for r in results] == [0.5, 0.5]
+        executor.close()
