@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.figures import FigureContext
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +24,17 @@ def experiment_config() -> ExperimentConfig:
 def pipeline(experiment_config) -> ClassificationPipeline:
     """The shared classification pipeline (dataset generated once)."""
     return ClassificationPipeline(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def figure_context(pipeline) -> FigureContext:
+    """One figure-registry context for the whole benchmark session.
+
+    Sharing a single context shares the executor's content-keyed result
+    cache, so attack configurations repeated across figure files (the
+    baseline, ``Attack4(-0.2)``, ...) are trained exactly once per session.
+    """
+    return FigureContext(pipeline=pipeline)
 
 
 @pytest.fixture(scope="session")

@@ -8,8 +8,6 @@
   attacked neurons.
 """
 
-import numpy as np
-
 from repro.attacks import Attack3InhibitoryThreshold, FaultSiteSelection
 from repro.core import ClassificationPipeline
 from repro.neurons.calibration import behavioural_parameter_map, circuit_parameter_map

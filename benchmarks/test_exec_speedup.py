@@ -22,7 +22,6 @@ the Fig. 8 grids); the executor's measured speedup is reported by
 import time
 
 from repro.attacks import Attack2ExcitatoryThreshold, AttackCampaign
-from repro.core import ExperimentConfig
 from repro.core.reporting import format_execution_report
 from repro.core.results import ExperimentResult
 from repro.exec import SweepExecutor

@@ -7,54 +7,33 @@ neuron flavours.
 The overhead table reproduces the paper's reported defense costs (robust
 driver 3 % power, up-sized Axon-Hillock 25 % power, comparator 11 % power,
 bandgap 65 % area at 200 neurons, dummy neuron ~1 %).
+
+Thin wrappers over the ``fig10c``/``overheads`` registry entries
+(``python -m repro run fig10c overheads``).
 """
 
-from repro.defenses import DummyNeuronDetector, overhead_report
-from repro.utils.tables import format_table
-
-VDD_VALUES = (0.8, 0.9, 1.0, 1.1, 1.2)
+from repro.figures import get_figure
 
 
-def test_fig10c_dummy_neuron_detection(benchmark):
-    def run():
-        rows = []
-        for neuron_type in ("axon_hillock", "if_amplifier"):
-            detector = DummyNeuronDetector(neuron_type=neuron_type)
-            for outcome in detector.sweep(VDD_VALUES):
-                rows.append(
-                    (neuron_type, outcome.vdd, outcome.spike_count,
-                     outcome.deviation, outcome.detected)
-                )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["neuron", "VDD (V)", "spike count", "deviation", "detected"],
-            rows,
-            title="Fig. 10c — dummy-neuron output spikes vs VDD",
-        )
+def test_fig10c_dummy_neuron_detection(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig10c").run, args=(figure_context,), rounds=1, iterations=1
     )
+    print(result.render())
     # The +/-20 % supply faults must be flagged for both neuron flavours, and
     # the nominal supply must never be flagged.
-    for neuron_type in ("axon_hillock", "if_amplifier"):
-        subset = {row[1]: row for row in rows if row[0] == neuron_type}
-        assert subset[0.8][4] and subset[1.2][4]
-        assert not subset[1.0][4]
+    for prefix in ("ah", "if"):
+        assert result.metrics[f"{prefix}_detects_corners"] == 1.0
+        assert result.metrics[f"{prefix}_false_alarm_at_nominal"] == 0.0
 
 
-def test_defense_overheads(benchmark):
-    report = benchmark.pedantic(overhead_report, args=(200,), rounds=1, iterations=1)
-    print(
-        format_table(
-            ["defense", "power overhead", "area overhead", "protects"],
-            [overhead.as_row() for overhead in report],
-            title="Defense overheads (200-neuron SNN, paper Sec. V)",
-        )
+def test_defense_overheads(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("overheads").run, args=(figure_context,), rounds=1, iterations=1
     )
-    by_name = {overhead.name: overhead for overhead in report}
-    assert by_name["robust_current_driver"].power_overhead == 0.03
-    assert by_name["axon_hillock_sizing"].power_overhead == 0.25
-    assert by_name["comparator_neuron"].power_overhead == 0.11
-    assert by_name["bandgap_threshold"].area_overhead == 0.65
-    assert by_name["dummy_neuron_detector"].power_overhead <= 0.01
+    print(result.render())
+    assert result.metrics["robust_current_driver_power"] == 0.03
+    assert result.metrics["axon_hillock_sizing_power"] == 0.25
+    assert result.metrics["comparator_neuron_power"] == 0.11
+    assert result.metrics["bandgap_threshold_area"] == 0.65
+    assert result.metrics["dummy_neuron_detector_power"] <= 0.01

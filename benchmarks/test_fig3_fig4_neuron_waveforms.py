@@ -1,53 +1,26 @@
 """Figs. 3 & 4 — spike-generation waveforms of both analog neurons.
 
-Regenerates the transient waveforms of the Axon-Hillock neuron (membrane and
-output, Fig. 3) and of the voltage-amplifier I&F neuron (membrane, Fig. 4)
-from the MNA circuit netlists, and reports spike counts/periods.
+Thin wrapper over the ``fig3``/``fig4`` entries of the figure registry
+(:mod:`repro.figures`), which simulate the MNA circuit netlists; run them
+standalone with ``python -m repro run fig3 fig4``.
 """
 
-import numpy as np
-
-from repro.circuits import AxonHillockDesign, simulate_axon_hillock, simulate_if_neuron
-from repro.utils.tables import format_table
+from repro.figures import get_figure
 
 
-def run_axon_hillock_waveform():
-    design = AxonHillockDesign(
-        membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12
+def test_fig3_axon_hillock_waveform(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig3").run, args=(figure_context,), rounds=1, iterations=1
     )
-    result = simulate_axon_hillock(design, stop_time="6u", time_step="5n")
-    vout = result.waveform("vout")
-    vmem = result.waveform("vmem")
-    spikes = vout.detect_spikes(0.5, min_separation=200e-9)
-    return {
-        "membrane_peak_V": vmem.maximum(),
-        "output_peak_V": vout.maximum(),
-        "output_spikes": len(spikes),
-        "first_spike_us": spikes[0] * 1e6 if len(spikes) else float("nan"),
-    }
+    print(result.render())
+    assert result.metrics["output_spikes"] >= 1
+    assert result.metrics["output_peak_V"] > 0.5
 
 
-def run_if_waveform():
-    result = simulate_if_neuron(stop_time="150u", time_step="25n")
-    vmem = result.waveform("vmem")
-    vcmp = result.waveform("vcmp")
-    spikes = vcmp.detect_spikes(0.5, min_separation=1e-6)
-    return {
-        "membrane_peak_V": vmem.maximum(),
-        "comparator_spikes": len(spikes),
-        "first_spike_us": spikes[0] * 1e6 if len(spikes) else float("nan"),
-    }
-
-
-def test_fig3_axon_hillock_waveform(benchmark):
-    summary = benchmark.pedantic(run_axon_hillock_waveform, rounds=1, iterations=1)
-    print(format_table(["quantity", "value"], summary.items(), title="Fig. 3 (Axon-Hillock)"))
-    assert summary["output_spikes"] >= 1
-    assert summary["output_peak_V"] > 0.5
-
-
-def test_fig4_if_neuron_waveform(benchmark):
-    summary = benchmark.pedantic(run_if_waveform, rounds=1, iterations=1)
-    print(format_table(["quantity", "value"], summary.items(), title="Fig. 4 (I&F neuron)"))
-    assert summary["comparator_spikes"] >= 1
-    assert summary["membrane_peak_V"] > 0.45
+def test_fig4_if_neuron_waveform(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig4").run, args=(figure_context,), rounds=1, iterations=1
+    )
+    print(result.render())
+    assert result.metrics["comparator_spikes"] >= 1
+    assert result.metrics["membrane_peak_V"] > 0.45

@@ -5,69 +5,33 @@ supply range (paper: 136 nA → 264 nA, i.e. −32 %/+32 %).
 
 Fig. 5c: the change in time-to-spike of both neurons when the input amplitude
 is corrupted over that range (paper: AH −24.7 %/+53.7 %, I&F −6.7 %/+14.5 %).
+
+Thin wrapper over the ``fig5`` registry entry (``python -m repro run fig5``).
 """
 
-import numpy as np
-
-from repro.circuits import amplitude_vs_vdd
-from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
-from repro.utils.tables import format_table
-
-VDD_VALUES = np.array([0.8, 0.9, 1.0, 1.1, 1.2])
+from repro.figures import get_figure
 
 
-def run_fig5b():
-    circuit_amplitudes = amplitude_vs_vdd(VDD_VALUES)
-    model_amplitudes = CurrentDriverModel().amplitude_vs_vdd(VDD_VALUES)
-    return circuit_amplitudes, model_amplitudes
-
-
-def run_fig5c():
-    driver = CurrentDriverModel()
-    axon_hillock = AxonHillockModel()
-    if_neuron = IFAmplifierModel()
-    base_ah = axon_hillock.time_to_first_spike(driver.nominal_amplitude)
-    base_if = if_neuron.inter_spike_interval(driver.nominal_amplitude)
-    rows = []
-    for vdd in VDD_VALUES:
-        amplitude = driver.amplitude(vdd)
-        ah_change = (axon_hillock.time_to_first_spike(amplitude) - base_ah) / base_ah
-        if_change = (if_neuron.inter_spike_interval(amplitude) - base_if) / base_if
-        rows.append((vdd, amplitude * 1e9, ah_change * 100, if_change * 100))
-    return rows
-
-
-def test_fig5b_driver_amplitude_vs_vdd(benchmark, baseline_accuracy):
-    circuit_amps, model_amps = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
-    rows = [
-        (vdd, c * 1e9, m * 1e9, (c / circuit_amps[2] - 1) * 100)
-        for vdd, c, m in zip(VDD_VALUES, circuit_amps, model_amps)
-    ]
-    print(
-        format_table(
-            ["VDD (V)", "circuit amplitude (nA)", "model amplitude (nA)", "change (%)"],
-            rows,
-            title="Fig. 5b — driver output amplitude vs VDD",
-        )
+def test_fig5b_driver_amplitude_vs_vdd(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig5").run, args=(figure_context,), rounds=1, iterations=1
     )
-    nominal = circuit_amps[2]
-    assert (circuit_amps[0] - nominal) / nominal < -0.25
-    assert (circuit_amps[-1] - nominal) / nominal > 0.25
+    print(result.render())
+    assert result.metrics["amplitude_change_at_0v8"] < -0.25
+    assert result.metrics["amplitude_change_at_1v2"] > 0.25
 
 
-def test_fig5c_time_to_spike_vs_amplitude(benchmark):
-    rows = benchmark.pedantic(run_fig5c, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["VDD (V)", "Iin (nA)", "AH time-to-spike change (%)", "I&F period change (%)"],
-            rows,
-            title="Fig. 5c — time-to-spike vs input amplitude",
-        )
-    )
-    by_vdd = {row[0]: row for row in rows}
+def test_fig5c_time_to_spike_vs_amplitude(figure_context):
+    metrics = get_figure("fig5").run(figure_context).metrics
     # Paper: AH slows by ~54 % at 0.8 V and speeds up by ~25 % at 1.2 V;
     # the I&F neuron is several times less sensitive.
-    assert 25 < by_vdd[0.8][2] < 80
-    assert -35 < by_vdd[1.2][2] < -15
-    assert abs(by_vdd[0.8][3]) < abs(by_vdd[0.8][2]) / 2
-    assert abs(by_vdd[1.2][3]) < abs(by_vdd[1.2][2]) / 2
+    assert 25 < metrics["ah_tts_change_at_0v8_pct"] < 80
+    assert -35 < metrics["ah_tts_change_at_1v2_pct"] < -15
+    assert (
+        abs(metrics["if_period_change_at_0v8_pct"])
+        < abs(metrics["ah_tts_change_at_0v8_pct"]) / 2
+    )
+    assert (
+        abs(metrics["if_period_change_at_1v2_pct"])
+        < abs(metrics["ah_tts_change_at_1v2_pct"]) / 2
+    )

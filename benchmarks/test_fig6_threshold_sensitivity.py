@@ -4,74 +4,32 @@ Fig. 6a: membrane threshold vs VDD for both neurons (paper: AH −17.9 %/+16.8 %
 I&F −18.0 %/+17.1 % for ±20 % VDD).
 
 Fig. 6b/6c: the resulting time-to-spike change at fixed input amplitude.
+
+Thin wrapper over the ``fig6`` registry entry (``python -m repro run fig6``).
 """
 
 import numpy as np
 
-from repro.circuits import threshold_vs_vdd
-from repro.neurons import AxonHillockModel, IFAmplifierModel
-from repro.utils.tables import format_table
-
-VDD_VALUES = np.array([0.8, 0.9, 1.0, 1.1, 1.2])
+from repro.figures import get_figure
 
 
-def run_fig6a():
-    circuit_thresholds = threshold_vs_vdd(VDD_VALUES)
-    axon_hillock = AxonHillockModel()
-    if_neuron = IFAmplifierModel()
-    rows = []
-    for vdd, circuit_threshold in zip(VDD_VALUES, circuit_thresholds):
-        rows.append(
-            (
-                vdd,
-                circuit_threshold,
-                axon_hillock.membrane_threshold(vdd),
-                if_neuron.membrane_threshold(vdd),
-            )
-        )
-    return rows
-
-
-def run_fig6bc():
-    axon_hillock = AxonHillockModel()
-    if_neuron = IFAmplifierModel()
-    base_ah = axon_hillock.time_to_first_spike(200e-9, vdd=1.0)
-    base_if = if_neuron.time_to_first_spike(200e-9, vdd=1.0)
-    rows = []
-    for vdd in VDD_VALUES:
-        ah = (axon_hillock.time_to_first_spike(200e-9, vdd=vdd) - base_ah) / base_ah
-        if_ = (if_neuron.time_to_first_spike(200e-9, vdd=vdd) - base_if) / base_if
-        rows.append((vdd, ah * 100, if_ * 100))
-    return rows
-
-
-def test_fig6a_threshold_vs_vdd(benchmark):
-    rows = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["VDD (V)", "inverter threshold (V)", "AH model threshold (V)", "I&F threshold (V)"],
-            rows,
-            title="Fig. 6a — membrane threshold vs VDD",
-        )
+def test_fig6a_threshold_vs_vdd(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig6").run, args=(figure_context,), rounds=1, iterations=1
     )
-    circuit = np.array([row[1] for row in rows])
-    changes = (circuit - circuit[2]) / circuit[2]
-    assert -0.22 < changes[0] < -0.10
-    assert 0.10 < changes[-1] < 0.22
-    if_thresholds = np.array([row[3] for row in rows])
-    assert np.allclose(if_thresholds, 0.5 * VDD_VALUES)
-
-
-def test_fig6bc_time_to_spike_vs_vdd(benchmark):
-    rows = benchmark.pedantic(run_fig6bc, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["VDD (V)", "AH time-to-spike change (%)", "I&F time-to-spike change (%)"],
-            rows,
-            title="Fig. 6b/6c — time-to-spike vs VDD",
-        )
+    print(result.render())
+    assert -0.22 < result.metrics["threshold_change_at_0v8"] < -0.10
+    assert 0.10 < result.metrics["threshold_change_at_1v2"] < 0.22
+    # The I&F comparator trips at half the supply by construction.
+    assert np.allclose(
+        result.arrays["if_model_threshold_V"], 0.5 * result.arrays["vdd_V"]
     )
-    by_vdd = {row[0]: row for row in rows}
+
+
+def test_fig6bc_time_to_spike_vs_vdd(figure_context):
+    metrics = get_figure("fig6").run(figure_context).metrics
     # Lower supply -> lower threshold -> faster spiking for both neurons.
-    assert by_vdd[0.8][1] < -8 and by_vdd[1.2][1] > 8
-    assert by_vdd[0.8][2] < -12 and by_vdd[1.2][2] > 15
+    assert metrics["ah_tts_change_at_0v8_pct"] < -8
+    assert metrics["ah_tts_change_at_1v2_pct"] > 8
+    assert metrics["if_tts_change_at_0v8_pct"] < -12
+    assert metrics["if_tts_change_at_1v2_pct"] > 15

@@ -6,60 +6,34 @@
   (paper: worst −84.52 % — catastrophic).
 * Fig. 8c: both layers fully affected (paper: worst −85.65 %).
 
-The benchmark-scale grids are reduced to the corner points (±20 % change,
-0/50/100 % of the layer); run with ``REPRO_SCALE=paper`` and wider grids via
-the campaign API for the full figures.
+Thin wrapper over the ``fig8`` registry entry, which runs all three panels
+through the shared executor (``python -m repro run fig8``); the session
+cache means the three tests below train each attack configuration once.
+Run with ``REPRO_SCALE=paper`` for the full published grids.
 """
 
-from repro.attacks import AttackCampaign
-from repro.core.reporting import format_attack_grid, format_sweep_series
-
-THRESHOLD_CHANGES = (-0.2, 0.2)
-FRACTIONS = (0.0, 0.5, 1.0)
+from repro.figures import get_figure
 
 
-def test_fig8a_attack2_excitatory_threshold(benchmark, pipeline, baseline_accuracy):
-    campaign = AttackCampaign(pipeline)
-    grid = benchmark.pedantic(
-        campaign.sweep_layer_threshold,
-        args=("excitatory", THRESHOLD_CHANGES, FRACTIONS),
-        rounds=1,
-        iterations=1,
+def test_fig8a_attack2_excitatory_threshold(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig8").run, args=(figure_context,), rounds=1, iterations=1
     )
-    print(format_attack_grid(grid, as_change=True))
+    print(result.render())
     # Attacking the excitatory layer alone has limited impact compared to the
     # inhibitory-layer attack (paper: -7.3 % worst case vs -84.5 %).
-    assert grid.worst_case_relative_degradation() < 0.5
+    assert result.metrics["worst_relative_degradation_excitatory"] < 0.5
 
 
-def test_fig8b_attack3_inhibitory_threshold(benchmark, pipeline, baseline_accuracy):
-    campaign = AttackCampaign(pipeline)
-    grid = benchmark.pedantic(
-        campaign.sweep_layer_threshold,
-        args=("inhibitory", THRESHOLD_CHANGES, FRACTIONS),
-        rounds=1,
-        iterations=1,
-    )
-    print(format_attack_grid(grid, as_change=True))
+def test_fig8b_attack3_inhibitory_threshold(figure_context, baseline_accuracy):
+    result = get_figure("fig8").run(figure_context)
     # The paper's headline: corrupting the inhibitory layer collapses accuracy.
-    assert grid.worst_case_relative_degradation() > 0.6
+    assert result.metrics["worst_relative_degradation_inhibitory"] > 0.6
     # Leaving the layer untouched (fraction 0) must match the baseline.
-    assert grid.accuracy_at(-0.2, 0.0) == baseline_accuracy
+    assert result.arrays["fractions"][0] == 0.0
+    assert result.arrays["accuracies_inhibitory"][0, 0] == baseline_accuracy
 
 
-def test_fig8c_attack4_both_layers(benchmark, pipeline, baseline_accuracy):
-    campaign = AttackCampaign(pipeline)
-    sweep = benchmark.pedantic(
-        campaign.sweep_both_layers, args=(THRESHOLD_CHANGES,), rounds=1, iterations=1
-    )
-    print(
-        format_sweep_series(
-            "threshold change",
-            sweep.values,
-            sweep.accuracies(),
-            baseline_accuracy=baseline_accuracy,
-            title="Fig. 8c — Attack 4 (both layers)",
-        )
-    )
-    worst = sweep.worst_case()
-    assert worst.result.relative_degradation > 0.6
+def test_fig8c_attack4_both_layers(figure_context):
+    result = get_figure("fig8").run(figure_context)
+    assert result.metrics["worst_relative_degradation_both"] > 0.6

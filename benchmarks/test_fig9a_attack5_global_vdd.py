@@ -3,30 +3,19 @@
 The adversary only picks the supply voltage; the induced theta and threshold
 corruption come from the circuit-calibrated VDD map.  The paper reports a
 worst-case accuracy degradation of −84.93 %.
+
+Thin wrapper over the ``fig9a`` registry entry (``python -m repro run fig9a``).
 """
 
-from repro.attacks import AttackCampaign
-from repro.core.reporting import format_sweep_series
-
-VDD_VALUES = (0.8, 1.0, 1.2)
+from repro.figures import get_figure
 
 
-def test_fig9a_attack5_global_vdd(benchmark, pipeline, baseline_accuracy):
-    campaign = AttackCampaign(pipeline)
-    sweep = benchmark.pedantic(
-        campaign.sweep_global_vdd, args=(VDD_VALUES,), rounds=1, iterations=1
+def test_fig9a_attack5_global_vdd(benchmark, figure_context, baseline_accuracy):
+    result = benchmark.pedantic(
+        get_figure("fig9a").run, args=(figure_context,), rounds=1, iterations=1
     )
-    print(
-        format_sweep_series(
-            "VDD (V)",
-            sweep.values,
-            sweep.accuracies(),
-            baseline_accuracy=baseline_accuracy,
-            title="Fig. 9a — Attack 5 (whole-system supply fault)",
-        )
-    )
-    accuracies = dict(zip([float(v) for v in sweep.values], sweep.accuracies()))
+    print(result.render())
     # Nominal supply point is exactly the baseline.
-    assert accuracies[1.0] == baseline_accuracy
+    assert result.metrics["accuracy_at_nominal"] == baseline_accuracy
     # Under-volting collapses accuracy (paper: -84.93 % relative).
-    assert (baseline_accuracy - accuracies[0.8]) / baseline_accuracy > 0.6
+    assert result.metrics["relative_degradation_at_0v8"] > 0.6

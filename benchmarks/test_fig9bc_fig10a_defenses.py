@@ -6,103 +6,38 @@
   threshold change at 0.8 V (paper: −18 % → −5.23 % at 32:1), and the
   corresponding accuracy degradation drops from catastrophic to a few percent.
 * Fig. 10a: the reference-biased comparator pins the threshold entirely.
+
+Thin wrappers over the ``fig9b``/``fig9c``/``fig10a`` registry entries
+(``python -m repro run fig9b fig9c fig10a``).
 """
 
-import numpy as np
-
-from repro.defenses import (
-    ComparatorNeuronDefense,
-    DefenseAccuracyEvaluator,
-    RobustDriverDefense,
-    SizingDefense,
-)
-from repro.utils.tables import format_table
-
-VDD_VALUES = (0.8, 0.9, 1.0, 1.1, 1.2)
-SIZING_FACTORS = (1, 2, 4, 8, 16, 32)
+from repro.figures import get_figure
 
 
-def test_fig9b_robust_driver_flatness(benchmark):
-    defense = RobustDriverDefense()
-
-    def run():
-        return [
-            (vdd, defense.undefended_theta_scale(vdd) - 1.0, defense.residual_theta_change(vdd))
-            for vdd in VDD_VALUES
-        ]
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["VDD (V)", "unprotected amplitude change", "robust-driver amplitude change"],
-            rows,
-            title="Fig. 9b — robust current driver",
-        )
+def test_fig9b_robust_driver_flatness(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig9b").run, args=(figure_context,), rounds=1, iterations=1
     )
-    assert all(abs(row[2]) < 0.01 for row in rows)
-    assert max(abs(row[1]) for row in rows) > 0.25
+    print(result.render())
+    assert result.metrics["max_defended_change"] < 0.01
+    assert result.metrics["max_undefended_change"] > 0.25
 
 
-def test_fig9c_sizing_defense_threshold_and_accuracy(benchmark, pipeline, baseline_accuracy):
-    defense = SizingDefense()
-    evaluator = DefenseAccuracyEvaluator(pipeline)
-
-    def run():
-        points = defense.sweep(SIZING_FACTORS, vdd=0.8)
-        # Accuracy recovered by the largest up-sizing, evaluated by running the
-        # Attack-4 experiment with the residual (defended) threshold scale;
-        # the evaluator submits defended + undefended + baseline as one
-        # executor batch (baseline served from cache).
-        residual_scale = defense.residual_threshold_scale(SIZING_FACTORS[-1], 0.8)
-        point = evaluator.evaluate_threshold_defenses(
-            {"32x sizing": residual_scale - 1.0}, undefended_change=-0.2
-        )[0]
-        return points, point.defended, point.undefended
-
-    points, defended, undefended = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["W/L factor", "nominal threshold (V)", "threshold @0.8V (V)", "change"],
-            [point.as_row() for point in points],
-            title="Fig. 9c — Axon-Hillock sizing defense (threshold sensitivity)",
-        )
+def test_fig9c_sizing_defense_threshold_and_accuracy(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig9c").run, args=(figure_context,), rounds=1, iterations=1
     )
-    print(
-        format_table(
-            ["case", "accuracy", "relative degradation"],
-            [
-                ("undefended (-20% threshold)", undefended.accuracy,
-                 f"{undefended.relative_degradation:.1%}"),
-                (f"defended (32x sizing, residual {points[-1].threshold_change:+.1%})",
-                 defended.accuracy, f"{defended.relative_degradation:.1%}"),
-                ("baseline", baseline_accuracy, "0.0%"),
-            ],
-            title="Fig. 9c — accuracy recovery",
-        )
+    print(result.render())
+    metrics = result.metrics
+    assert abs(metrics["threshold_change_32x"]) < abs(metrics["threshold_change_1x"]) / 2
+    assert metrics["defended_accuracy"] > metrics["undefended_accuracy"]
+    assert metrics["defended_relative_degradation"] < 0.25
+
+
+def test_fig10a_comparator_defense(benchmark, figure_context):
+    result = benchmark.pedantic(
+        get_figure("fig10a").run, args=(figure_context,), rounds=1, iterations=1
     )
-    assert abs(points[-1].threshold_change) < abs(points[0].threshold_change) / 2
-    assert defended.accuracy > undefended.accuracy
-    assert defended.relative_degradation < 0.25
-
-
-def test_fig10a_comparator_defense(benchmark):
-    defense = ComparatorNeuronDefense()
-
-    def run():
-        return [
-            (vdd, defense.undefended_threshold_scale(vdd), defense.threshold_scale(vdd))
-            for vdd in VDD_VALUES
-        ]
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(
-        format_table(
-            ["VDD (V)", "inverter threshold scale", "comparator threshold scale"],
-            rows,
-            title="Fig. 10a — comparator-based threshold hardening",
-        )
-    )
-    defended = np.array([row[2] for row in rows])
-    undefended = np.array([row[1] for row in rows])
-    assert np.ptp(defended) < 0.02
-    assert np.ptp(undefended) > 0.2
+    print(result.render())
+    assert result.metrics["defended_ptp"] < 0.02
+    assert result.metrics["undefended_ptp"] > 0.2

@@ -1,8 +1,9 @@
 """Run all five power-oriented attacks against one trained pipeline.
 
-Reproduces the paper's headline comparison (the summary behind Figs. 7b-9a):
-the driver-only and excitatory-layer attacks barely move the accuracy, while
-the inhibitory-layer, both-layer and global-supply attacks collapse it.
+Reproduces the paper's headline comparison (the summary behind Figs. 7b-9a)
+through the ``summary`` entry of the figure registry: the driver-only and
+excitatory-layer attacks barely move the accuracy, while the
+inhibitory-layer, both-layer and global-supply attacks collapse it.
 
 Figure reproduced
     Summary row of Figs. 7b, 8a-8c and 9a (one representative point per
@@ -21,17 +22,9 @@ Usage::
 
 import argparse
 
-from repro.attacks import (
-    Attack1InputSpikeCorruption,
-    Attack2ExcitatoryThreshold,
-    Attack3InhibitoryThreshold,
-    Attack4BothLayerThreshold,
-    Attack5GlobalSupply,
-)
-from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.core import ExperimentConfig
 from repro.core.reporting import format_execution_report
-from repro.exec import SweepExecutor
-from repro.utils.tables import format_table
+from repro.figures import FigureContext, get_figure
 
 
 def main() -> None:
@@ -46,47 +39,15 @@ def main() -> None:
     args = parser.parse_args()
 
     config = ExperimentConfig.from_environment(default="benchmark")
-    pipeline = ClassificationPipeline(config)
-    executor = SweepExecutor(pipeline, workers=args.workers)
-
-    attacks = [
-        None,  # the attack-free baseline
-        Attack1InputSpikeCorruption(theta_change=-0.2),
-        Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=1.0),
-        Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
-        Attack4BothLayerThreshold(threshold_change=-0.2),
-        Attack5GlobalSupply(vdd=0.8),
-    ]
-
     mode = f"{args.workers} workers" if args.workers >= 2 else "serial"
     print(f"Running the 5-attack campaign ({config.scale_name} scale, {mode})...")
-    results = executor.map(attacks)
-    baseline, attacked = results[0], results[1:]
 
-    rows = [("baseline", f"{baseline.accuracy:.3f}", "-", "-")]
-    for attack, result in zip(attacks[1:], attacked):
-        # The executor back-fills baseline_accuracy (the batch includes the
-        # baseline), so the result's own guarded properties apply.
-        degradation = result.relative_degradation
-        rows.append(
-            (
-                attack.label(),
-                f"{result.accuracy:.3f}",
-                f"{result.accuracy_change:+.3f}",
-                "n/a" if degradation is None else f"{degradation:.1%}",
-            )
-        )
-
-    print()
-    print(
-        format_table(
-            ["attack", "accuracy", "change", "relative degradation"],
-            rows,
-            title="Power-oriented fault-injection attacks on the Diehl&Cook SNN",
-        )
-    )
-    print()
-    print(format_execution_report(executor.stats))
+    with FigureContext(config, workers=args.workers) as context:
+        result = get_figure("summary").run(context)
+        print()
+        print(result.render())
+        print()
+        print(format_execution_report(context.executor.stats))
 
 
 if __name__ == "__main__":

@@ -1,106 +1,36 @@
 """Circuit-level characterisation of the analog neurons and drivers.
 
-Reproduces the circuit-tier sensitivity analyses of the paper directly from
-the MNA netlists and the behavioural models, and prints a transient summary
-of both neurons.
+Reproduces the circuit-tier figures directly from the registry: the MNA
+netlist waveform of the Axon-Hillock neuron, the driver-amplitude and
+threshold sensitivity sweeps, and the circuit halves of the robust-driver
+and comparator defenses.  No SNN training is involved.
 
 Figures reproduced
-    Fig. 5b (driver amplitude vs VDD), Fig. 6a (threshold sensitivity vs
-    VDD), and the circuit halves of Figs. 9b/10a (robust driver and
-    comparator defenses).
+    Figs. 3, 5b/5c, 6a-6c, 9b and 10a.
 Expected runtime
-    ~1-2 min on a laptop (dozens of small transient/DC simulations; no SNN
-    training involved).
+    ~1-2 min on a laptop (dozens of small transient/DC simulations).
 
 Usage::
 
     python examples/circuit_characterization.py
 """
 
-import numpy as np
+from repro.core import ExperimentConfig
+from repro.figures import FigureContext, get_figure
 
-from repro.circuits import (
-    AxonHillockDesign,
-    amplitude_vs_vdd,
-    simulate_axon_hillock,
-    threshold_vs_vdd,
-    trip_point_vs_vdd,
-)
-from repro.circuits import robust_driver
-from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
-from repro.utils.tables import format_table
-
-VDD_VALUES = np.array([0.8, 0.9, 1.0, 1.1, 1.2])
-
-
-def supply_sensitivity_tables() -> None:
-    driver_amplitude = amplitude_vs_vdd(VDD_VALUES)
-    robust_amplitude = robust_driver.amplitude_vs_vdd(VDD_VALUES)
-    inverter_threshold = threshold_vs_vdd(VDD_VALUES)
-    comparator_trip = trip_point_vs_vdd(VDD_VALUES)
-    rows = []
-    for i, vdd in enumerate(VDD_VALUES):
-        rows.append(
-            (
-                vdd,
-                f"{driver_amplitude[i] * 1e9:.0f} nA",
-                f"{robust_amplitude[i] * 1e9:.0f} nA",
-                f"{inverter_threshold[i]:.3f} V",
-                f"{comparator_trip[i]:.3f} V",
-            )
-        )
-    print(
-        format_table(
-            ["VDD", "driver output", "robust driver", "inverter threshold", "comparator trip"],
-            rows,
-            title="Supply sensitivity of the SNN front-end circuits (Figs. 5b, 6a, 9b, 10a)",
-        )
-    )
-
-
-def behavioural_time_to_spike_table() -> None:
-    driver = CurrentDriverModel()
-    neurons = {"Axon-Hillock": AxonHillockModel(), "I&F amplifier": IFAmplifierModel()}
-    rows = []
-    for name, neuron in neurons.items():
-        base = neuron.time_to_first_spike(driver.nominal_amplitude, vdd=1.0)
-        for vdd in (0.8, 1.2):
-            amplitude = driver.amplitude(vdd)
-            tts = neuron.time_to_first_spike(amplitude, vdd=vdd)
-            rows.append((name, vdd, f"{tts * 1e6:.2f} us", f"{(tts - base) / base:+.1%}"))
-    print()
-    print(
-        format_table(
-            ["neuron", "VDD", "time-to-spike", "change"],
-            rows,
-            title="Combined amplitude + threshold effect on time-to-spike",
-        )
-    )
-
-
-def transient_waveform_summary() -> None:
-    design = AxonHillockDesign(membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12)
-    result = simulate_axon_hillock(design, stop_time="6u", time_step="5n")
-    vout = result.waveform("vout")
-    spikes = vout.detect_spikes(0.5, min_separation=200e-9)
-    print()
-    print(
-        format_table(
-            ["quantity", "value"],
-            [
-                ("membrane peak", f"{result.waveform('vmem').maximum():.3f} V"),
-                ("output peak", f"{vout.maximum():.3f} V"),
-                ("output spikes in 6 us", len(spikes)),
-            ],
-            title="Axon-Hillock transient (MNA netlist, scaled capacitors)",
-        )
-    )
+FIGURES = ("fig3", "fig5", "fig6", "fig9b", "fig10a")
 
 
 def main() -> None:
-    supply_sensitivity_tables()
-    behavioural_time_to_spike_table()
-    transient_waveform_summary()
+    # The circuit tier is scale-independent; the config only labels the run.
+    config = ExperimentConfig.from_environment(default="benchmark")
+    with FigureContext(config) as context:
+        for name in FIGURES:
+            spec = get_figure(name)
+            print(f"{spec.title}...")
+            print(spec.run(context).render())
+            print()
+    print("Persist these with: python -m repro run " + " ".join(FIGURES))
 
 
 if __name__ == "__main__":

@@ -2,12 +2,12 @@
 
 Shows, for each defense, how much of the attack-induced parameter corruption
 survives, what it costs, and whether the dummy-neuron detector flags the
-supply fault.
+supply fault — all through the figure registry, so the same tables are
+served by ``python -m repro run residuals fig10c overheads``.
 
 Figures reproduced
     The defense columns of Figs. 9b/9c/10a (residual corruption), Fig. 10b/c
-    (dummy-neuron detector) and Table comparisons of Sec. V (area/power
-    overheads).
+    (dummy-neuron detector) and the Sec. V area/power overhead table.
 Expected runtime
     A few seconds on a laptop (behavioural models and small circuit solves
     only; no SNN training).
@@ -17,94 +17,20 @@ Usage::
     python examples/defense_evaluation.py
 """
 
-from repro.defenses import (
-    BandgapThresholdDefense,
-    ComparatorNeuronDefense,
-    DummyNeuronDetector,
-    RobustDriverDefense,
-    SizingDefense,
-    overhead_report,
-)
-from repro.utils.tables import format_table
+from repro.core import ExperimentConfig
+from repro.figures import FigureContext, get_figure
 
-ATTACK_VDD = 0.8
-
-
-def residual_corruption_table() -> None:
-    robust = RobustDriverDefense()
-    bandgap = BandgapThresholdDefense()
-    sizing = SizingDefense()
-    comparator = ComparatorNeuronDefense()
-    rows = [
-        (
-            "robust current driver",
-            f"{robust.undefended_theta_scale(ATTACK_VDD) - 1:+.1%} drive",
-            f"{robust.residual_theta_change(ATTACK_VDD):+.2%} drive",
-        ),
-        (
-            "bandgap threshold (I&F)",
-            f"{bandgap.undefended_threshold_scale(ATTACK_VDD) - 1:+.1%} threshold",
-            f"{bandgap.residual_threshold_change(ATTACK_VDD):+.2%} threshold",
-        ),
-        (
-            "32x sizing (Axon-Hillock)",
-            f"{sizing.threshold_change(1.0, ATTACK_VDD):+.1%} threshold",
-            f"{sizing.threshold_change(32.0, ATTACK_VDD):+.1%} threshold",
-        ),
-        (
-            "comparator neuron (Axon-Hillock)",
-            f"{comparator.undefended_threshold_scale(ATTACK_VDD) - 1:+.1%} threshold",
-            f"{comparator.threshold_scale(ATTACK_VDD) - 1:+.2%} threshold",
-        ),
-    ]
-    print(
-        format_table(
-            ["defense", "corruption without defense", "residual corruption"],
-            rows,
-            title=f"Residual parameter corruption at VDD = {ATTACK_VDD} V",
-        )
-    )
-
-
-def detector_table() -> None:
-    rows = []
-    for neuron_type in ("axon_hillock", "if_amplifier"):
-        detector = DummyNeuronDetector(neuron_type=neuron_type)
-        for outcome in detector.sweep((0.8, 0.9, 1.0, 1.1, 1.2)):
-            rows.append(
-                (
-                    neuron_type,
-                    outcome.vdd,
-                    outcome.spike_count,
-                    f"{outcome.deviation:+.1%}",
-                    "ATTACK" if outcome.detected else "ok",
-                )
-            )
-    print()
-    print(
-        format_table(
-            ["dummy neuron", "VDD", "spike count", "deviation", "verdict"],
-            rows,
-            title="Dummy-neuron VFI detector (Fig. 10c)",
-        )
-    )
-
-
-def overhead_table() -> None:
-    print()
-    print(
-        format_table(
-            ["defense", "power overhead", "area overhead", "protects"],
-            [overhead.as_row() for overhead in overhead_report(200)],
-            title="Defense overheads for the 200-neuron SNN (paper Sec. V)",
-        )
-    )
+FIGURES = ("residuals", "fig10c", "overheads")
 
 
 def main() -> None:
-    residual_corruption_table()
-    detector_table()
-    overhead_table()
+    # The defense circuit tier is scale-independent; the config labels the run.
+    config = ExperimentConfig.from_environment(default="benchmark")
+    with FigureContext(config) as context:
+        for name in FIGURES:
+            print(get_figure(name).run(context).render())
+            print()
+    print("Persist these with: python -m repro run " + " ".join(FIGURES))
 
 
 if __name__ == "__main__":

@@ -1,43 +1,44 @@
 """Quickstart: train the Diehl&Cook SNN and attack its power supply.
 
-Runs the attack-free baseline and the black-box Attack 5 (global VDD fault at
-0.8 V) at a small scale, then prints both results.
+Reproduces Fig. 9a (the black-box global-VDD attack) through the figure
+registry: the attack-free baseline plus the under/over-volted supply points,
+then prints the paper-style table.
 
 Figure reproduced
-    One point of Fig. 9a (Attack 5 at VDD = 0.8 V) against its baseline.
+    Fig. 9a (Attack 5) at the reduced supply grid, against its baseline.
 Expected runtime
-    ~1 min on a laptop (smoke scale; two training runs).
+    ~1-2 min on a laptop (smoke scale; three training runs).
 
 Usage::
 
     python examples/quickstart.py
+    REPRO_SCALE=tiny python examples/quickstart.py   # seconds, toy accuracy
 """
 
-from repro.attacks import Attack5GlobalSupply
-from repro.core import ClassificationPipeline, ExperimentConfig
-from repro.core.reporting import format_experiment_result
+from repro.core import ExperimentConfig
+from repro.figures import FigureContext, get_figure
 
 
 def main() -> None:
-    # ``smoke`` keeps the example fast; switch to ExperimentConfig.benchmark()
-    # or .paper() for the figures reported in EXPERIMENTS.md.
-    config = ExperimentConfig.smoke()
-    pipeline = ClassificationPipeline(config)
-
+    # ``smoke`` keeps the example fast; export REPRO_SCALE=benchmark (or
+    # paper) for the accuracy regime reported in the figures.
+    config = ExperimentConfig.from_environment(default="smoke")
     print(f"Training the Diehl&Cook SNN ({config.scale_name} scale)...")
-    baseline = pipeline.run_baseline()
-    print(format_experiment_result(baseline))
-    print()
 
-    print("Re-training the same network under Attack 5 (VDD = 0.8 V)...")
-    attacked = pipeline.run(Attack5GlobalSupply(vdd=0.8))
-    print(format_experiment_result(attacked))
-    print()
+    with FigureContext(config) as context:
+        result = get_figure("fig9a").run(context)
 
-    degradation = attacked.relative_degradation or 0.0
+    print(result.render())
+    print()
+    degradation = result.metrics["relative_degradation_at_0v8"]
     print(
-        f"The shared-supply fault removed {degradation:.1%} of the baseline "
-        f"accuracy ({baseline.accuracy:.3f} -> {attacked.accuracy:.3f})."
+        f"The shared-supply fault at 0.8 V removed {degradation:.1%} of the "
+        f"baseline accuracy ({result.metrics['baseline_accuracy']:.3f} -> "
+        f"{result.metrics['accuracy_at_0v8']:.3f})."
+    )
+    print(
+        "Persist this run with: python -m repro run fig9a --scale "
+        f"{config.scale_name} --out results/"
     )
 
 

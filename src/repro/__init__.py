@@ -16,11 +16,31 @@ The library is organised in three tiers that mirror the paper:
   figure in the paper's evaluation).
 
 Cutting across the tiers, :mod:`repro.exec` fans independent sweep
-evaluations out over a process pool with result caching and timing — see
+evaluations out over a process pool with result caching and timing, and the
+**reproduction tier** serves the paper's figures as first-class artifacts:
+:mod:`repro.figures` (the registry of every figure as a
+:class:`~repro.figures.FigureSpec`), :mod:`repro.store` (schema-versioned
+JSON+NPZ artifacts with provenance, plus the persistent executor cache) and
+:mod:`repro.cli` (``python -m repro list|run|report``) — see
 ``docs/architecture.md`` for the full picture.
 """
 
-__version__ = "1.0.0"
+from repro import (
+    analog,
+    attacks,
+    circuits,
+    core,
+    datasets,
+    defenses,
+    exec,
+    figures,
+    neurons,
+    snn,
+    store,
+    utils,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "analog",
@@ -32,5 +52,7 @@ __all__ = [
     "defenses",
     "core",
     "exec",
+    "figures",
+    "store",
     "utils",
 ]

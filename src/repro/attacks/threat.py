@@ -15,7 +15,7 @@ which components a given VDD manipulation can reach:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Tuple
 

@@ -1,0 +1,191 @@
+"""``python -m repro`` — list, run and report paper-figure reproductions.
+
+Three subcommands:
+
+``list``
+    Show every registered figure with its tier and paper-claim count.
+``run``
+    Reproduce one or more figures (or ``--all``) at a chosen scale,
+    fanning pipeline runs out over ``--workers`` processes, and persist
+    schema-versioned JSON+NPZ artifacts (plus the executor's result cache)
+    under ``--out``.  Re-running against the same ``--out`` resumes from
+    the persistent cache: already-evaluated configurations are cache hits
+    and the numbers are bit-identical.
+``report``
+    Render the artifacts in a results directory as comparison tables
+    against the paper's published numbers.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig8 --scale smoke --workers 4 --out results/
+    python -m repro run --all --scale smoke --out results/
+    python -m repro report results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.config import ExperimentConfig
+from repro.core.reporting import (
+    format_artifact_summary,
+    format_execution_report,
+    format_paper_comparison,
+)
+from repro.figures import FigureContext, figure_names, get_figure, iter_figures
+from repro.store import (
+    PersistentResultCache,
+    git_revision,
+    is_figure_artifact,
+    load_figure_result,
+    save_figure_result,
+)
+from repro.utils.tables import format_table
+
+#: File name of the persistent executor cache inside a results directory.
+CACHE_FILENAME = "cache.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's figures with persistent artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered figure")
+
+    run = sub.add_parser("run", help="reproduce figures and persist artifacts")
+    run.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"figure names ({', '.join(figure_names())})",
+    )
+    run.add_argument("--all", action="store_true", help="run every registered figure")
+    run.add_argument(
+        "--scale",
+        choices=sorted(ExperimentConfig.presets()),
+        default=None,
+        help="experiment scale preset (default: REPRO_SCALE or 'benchmark')",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for pipeline sweeps (0/1 = serial)",
+    )
+    run.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="artifact directory (default: results/)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the per-figure tables"
+    )
+
+    report = sub.add_parser("report", help="compare stored artifacts to the paper")
+    report.add_argument("results_dir", metavar="DIR", help="artifact directory")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = []
+    for spec in iter_figures():
+        tier = "pipeline" if spec.uses_pipeline else "circuit"
+        rows.append(
+            [spec.name, tier, ",".join(spec.tags), str(len(spec.claims)), spec.description]
+        )
+    print(
+        format_table(
+            ["figure", "tier", "tags", "claims", "description"],
+            rows,
+            title=f"Registered paper figures ({len(rows)})",
+        )
+    )
+    return 0
+
+
+def _resolve_figures(names: Sequence[str], run_all: bool) -> List[str]:
+    if run_all:
+        return figure_names()
+    if not names:
+        raise SystemExit(
+            "no figures given; name at least one (see 'python -m repro list') "
+            "or pass --all"
+        )
+    known = set(figure_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown figure(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(figure_names())}"
+        )
+    return list(names)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = _resolve_figures(args.figures, args.all)
+    if args.scale is not None:
+        config = ExperimentConfig.from_scale(args.scale)
+    else:
+        config = ExperimentConfig.from_environment(default="benchmark")
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = PersistentResultCache(out_dir / CACHE_FILENAME)
+    git_sha = git_revision()
+
+    with FigureContext(config, workers=args.workers, cache=cache) as context:
+        for name in names:
+            spec = get_figure(name)
+            print(f"[{name}] {spec.title} (scale {config.scale_name})...")
+            result = spec.run(context)
+            paths = save_figure_result(
+                spec, result, out_dir, config=config, git_sha=git_sha
+            )
+            if not args.quiet:
+                print(result.render())
+            print(
+                f"[{name}] done in {result.wall_seconds:.2f} s "
+                f"({result.executor_tasks} pipeline runs, "
+                f"{result.executor_cache_hits} cache hits) -> {paths.json_path}"
+            )
+        print()
+        print(format_execution_report(context.executor.stats))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"{results_dir} is not a directory", file=sys.stderr)
+        return 1
+    documents = []
+    for json_path in sorted(results_dir.glob("*.json")):
+        if json_path.name == CACHE_FILENAME or not is_figure_artifact(json_path):
+            continue
+        documents.append(load_figure_result(json_path).document)
+    if not documents:
+        print(f"no figure artifacts found in {results_dir}", file=sys.stderr)
+        return 1
+    print(format_artifact_summary(documents))
+    print()
+    print(format_paper_comparison(documents))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)

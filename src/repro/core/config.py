@@ -11,13 +11,15 @@ Three scales are provided:
 * ``smoke()`` — a tiny setup for unit and integration tests.
 
 The scale used by the benchmark harness can be overridden with the
-``REPRO_SCALE`` environment variable (``paper``, ``benchmark`` or ``smoke``).
+``REPRO_SCALE`` environment variable (``paper``, ``benchmark``, ``smoke`` or
+``tiny``); unknown values raise instead of silently falling back.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Callable, Dict
 
 from repro.snn.models import DiehlAndCookParameters
 from repro.utils.validation import check_fraction, check_positive
@@ -113,12 +115,37 @@ class ExperimentConfig:
         )
 
     @classmethod
-    def from_environment(cls, default: str = "benchmark") -> "ExperimentConfig":
-        """Pick a preset by the ``REPRO_SCALE`` environment variable."""
-        scale = os.environ.get("REPRO_SCALE", default).strip().lower()
-        presets = {"paper": cls.paper, "benchmark": cls.benchmark, "smoke": cls.smoke}
-        if scale not in presets:
+    def presets(cls) -> Dict[str, Callable[[], "ExperimentConfig"]]:
+        """Every named scale preset (``name -> factory``), in paper order."""
+        return {
+            "paper": cls.paper,
+            "benchmark": cls.benchmark,
+            "smoke": cls.smoke,
+            "tiny": cls.tiny,
+        }
+
+    @classmethod
+    def from_scale(cls, scale: str) -> "ExperimentConfig":
+        """Build the preset named ``scale``; raise listing the valid names."""
+        presets = cls.presets()
+        normalized = scale.strip().lower()
+        if normalized not in presets:
             raise ValueError(
-                f"REPRO_SCALE must be one of {sorted(presets)}, got {scale!r}"
+                f"scale must be one of {sorted(presets)}, got {scale!r}"
             )
-        return presets[scale]()
+        return presets[normalized]()
+
+    @classmethod
+    def from_environment(cls, default: str = "benchmark") -> "ExperimentConfig":
+        """Pick a preset by the ``REPRO_SCALE`` environment variable.
+
+        An unknown value raises :class:`ValueError` naming the valid scales
+        instead of silently falling back to the default.
+        """
+        scale = os.environ.get("REPRO_SCALE", default)
+        try:
+            return cls.from_scale(scale)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SCALE must be one of {sorted(cls.presets())}, got {scale!r}"
+            ) from None

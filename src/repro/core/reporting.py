@@ -3,7 +3,7 @@ plus execution instrumentation from the sweep executor."""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.results import AttackGridResult, ExperimentResult
 from repro.utils.tables import format_table
@@ -97,5 +97,75 @@ def format_execution_report(stats: "ExecutionStats", *, slowest: int = 5) -> str
         ("measured speedup", f"{stats.speedup_estimate():.2f}x"),
     ]
     for timing in stats.slowest_tasks(slowest):
-        rows.append((f"slowest: {timing.key}", f"{timing.seconds:.2f} s"))
+        # Drop the experiment-config scope prefix: within one report every
+        # task shares it, and the attack content is the informative part.
+        label = timing.key.rsplit("::", 1)[-1]
+        rows.append((f"slowest: {label}", f"{timing.seconds:.2f} s"))
     return format_table(["quantity", "value"], rows, title="sweep execution")
+
+
+def format_artifact_summary(documents: Sequence[Mapping]) -> str:
+    """Provenance overview of stored figure artifacts (``repro report``).
+
+    ``documents`` are artifact JSON documents as written by
+    :func:`repro.store.save_figure_result` — plain mappings, so this module
+    stays import-independent of the store.
+    """
+    rows = []
+    for document in documents:
+        provenance = document.get("provenance", {})
+        rows.append(
+            (
+                document.get("figure", "?"),
+                provenance.get("scale", "?"),
+                str(provenance.get("seed", "?")),
+                str(provenance.get("git_sha", "?"))[:12],
+                f"{provenance.get('wall_seconds', 0.0):.2f} s",
+                str(provenance.get("executor_tasks", 0)),
+                str(provenance.get("executor_cache_hits", 0)),
+            )
+        )
+    return format_table(
+        ["figure", "scale", "seed", "git SHA", "wall", "runs", "cache hits"],
+        rows,
+        title=f"Stored figure artifacts ({len(rows)})",
+    )
+
+
+def format_paper_comparison(documents: Sequence[Mapping]) -> str:
+    """Measured metrics vs the paper's published numbers, across artifacts.
+
+    Only figures that declare paper claims contribute rows; the difference
+    column makes reduced-scale deviations visible at a glance.
+    """
+    rows = []
+    for document in documents:
+        metrics = document.get("metrics", {})
+        for claim in document.get("claims", []):
+            metric = claim.get("metric", "?")
+            paper_value = claim.get("paper_value")
+            measured = metrics.get(metric)
+            if isinstance(measured, (int, float)) and isinstance(
+                paper_value, (int, float)
+            ):
+                delta = f"{measured - paper_value:+.4f}"
+                measured_text = f"{measured:.4f}"
+                paper_text = f"{paper_value:.4f}"
+            else:
+                delta, measured_text, paper_text = "n/a", str(measured), str(paper_value)
+            rows.append(
+                (
+                    document.get("figure", "?"),
+                    claim.get("description") or metric,
+                    paper_text,
+                    measured_text,
+                    delta,
+                )
+            )
+    if not rows:
+        return "No paper claims declared by the stored artifacts."
+    return format_table(
+        ["figure", "quantity", "paper", "reproduced", "difference"],
+        rows,
+        title="Reproduction vs the paper's published numbers",
+    )

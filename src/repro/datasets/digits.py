@@ -24,7 +24,12 @@ Polyline = Sequence[Point]
 
 
 def _arc(
-    center: Point, radius_x: float, radius_y: float, start_deg: float, stop_deg: float, points: int = 12
+    center: Point,
+    radius_x: float,
+    radius_y: float,
+    start_deg: float,
+    stop_deg: float,
+    points: int = 12,
 ) -> List[Point]:
     """Sample an elliptical arc as a polyline (angles in degrees, y axis down)."""
     angles = np.linspace(math.radians(start_deg), math.radians(stop_deg), points)

@@ -1,0 +1,1090 @@
+"""Registry of the paper's figures: one :class:`FigureSpec` per figure.
+
+Every figure of the paper's evaluation (Figs. 3-10, the Sec. V overhead
+table and the headline attack summary) is registered here exactly once,
+with its scale-dependent parameter grids, the published numbers it is
+compared against, and a runner that produces a :class:`FigureResult`.
+The benchmark harness (``benchmarks/test_fig*.py``), the examples and the
+``python -m repro`` CLI are all thin wrappers over this registry, so figure
+logic lives in one place.
+
+Pipeline-tier figures (the attack and defense accuracy sweeps) fan their
+train-and-evaluate runs out through a shared
+:class:`~repro.exec.executor.SweepExecutor`, so they parallelise with
+``workers >= 2`` and hit the content-keyed result cache — re-running a
+figure against a warm (or persistent, see :mod:`repro.store`) cache is
+resumable and bit-identical.  Circuit-tier figures run the MNA netlists and
+behavioural models directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.attacks import (
+    Attack1InputSpikeCorruption,
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack4BothLayerThreshold,
+    Attack5GlobalSupply,
+)
+from repro.attacks.campaign import AttackCampaign
+from repro.circuits import (
+    AxonHillockDesign,
+    amplitude_vs_vdd,
+    simulate_axon_hillock,
+    simulate_if_neuron,
+    threshold_vs_vdd,
+)
+from repro.core.config import ExperimentConfig
+from repro.defenses import (
+    BandgapThresholdDefense,
+    ComparatorNeuronDefense,
+    DefenseAccuracyEvaluator,
+    DummyNeuronDetector,
+    RobustDriverDefense,
+    SizingDefense,
+    overhead_report,
+)
+from repro.exec.executor import PipelineFromConfig, SweepExecutor
+from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
+from repro.utils.tables import format_table
+
+#: Supply grid shared by the circuit-tier sensitivity figures.
+VDD_GRID = (0.8, 0.9, 1.0, 1.1, 1.2)
+
+#: Up-sizing factors of the Fig. 9c sizing-defense sweep.
+SIZING_FACTORS = (1, 2, 4, 8, 16, 32)
+
+
+class FigureContext:
+    """Shared configuration + executor for a batch of figure reproductions.
+
+    One context owns one :class:`~repro.exec.executor.SweepExecutor`, so
+    every figure run through it shares the content-keyed result cache: the
+    attack-free baseline is trained once per session, and attack
+    configurations repeated across figures (e.g. ``Attack4(-0.2)`` appears
+    in Fig. 8c, Fig. 9c and the summary) are evaluated once.
+
+    Parameters
+    ----------
+    config:
+        Experiment scale (defaults to ``ExperimentConfig.from_environment()``).
+    pipeline:
+        Optional pre-built pipeline to wrap (the benchmark harness shares
+        its session pipeline this way).  Its config takes precedence.
+    workers:
+        Worker processes for the executor (``0``/``1`` = serial).
+    cache:
+        Optional result cache — pass a
+        :class:`repro.store.PersistentResultCache` to make runs resumable
+        across processes.
+    executor:
+        Fully custom executor (overrides ``pipeline``/``workers``/``cache``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        pipeline=None,
+        workers: int = 0,
+        cache=None,
+        executor: Optional[SweepExecutor] = None,
+    ) -> None:
+        if config is None and pipeline is not None:
+            config = pipeline.config
+        self.config = config or ExperimentConfig.from_environment()
+        if executor is not None:
+            self.executor = executor
+        elif pipeline is not None:
+            self.executor = SweepExecutor(pipeline, workers=workers, cache=cache)
+        else:
+            self.executor = SweepExecutor(
+                pipeline_factory=PipelineFromConfig(self.config),
+                workers=workers,
+                cache=cache,
+            )
+
+    @property
+    def scale(self) -> str:
+        """Name of the experiment scale preset."""
+        return self.config.scale_name
+
+    @property
+    def pipeline(self):
+        """The classification pipeline (built lazily on first use)."""
+        return self.executor.pipeline
+
+    def campaign(self) -> AttackCampaign:
+        """An attack campaign sharing this context's executor and cache."""
+        return AttackCampaign(self.pipeline, executor=self.executor)
+
+    def close(self) -> None:
+        """Shut the executor's worker pool down (no-op when serial)."""
+        self.executor.close()
+
+    def __enter__(self) -> "FigureContext":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One published number a reproduced metric is compared against."""
+
+    metric: str
+    paper_value: float
+    description: str = ""
+
+
+@dataclass
+class FigureTable:
+    """One rendered table of a figure (headers + stringified rows)."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+
+    def render(self) -> str:
+        """The table as paper-style plain text."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+@dataclass
+class FigureResult:
+    """Everything a figure reproduction produced.
+
+    ``metrics`` holds the scalar quantities the figure's qualitative claims
+    (and the paper comparison in ``repro report``) are stated over;
+    ``arrays`` holds the swept series/grids backing the figure; ``tables``
+    are the human-readable renderings.  Execution metadata (wall-clock,
+    executor task/cache-hit deltas) is filled in by :meth:`FigureSpec.run`.
+    """
+
+    figure: str = ""
+    title: str = ""
+    scale_name: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    tables: List[FigureTable] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    executor_tasks: int = 0
+    executor_cache_hits: int = 0
+    workers: int = 0
+
+    def render(self) -> str:
+        """All tables of the figure, ready to print."""
+        return "\n".join(table.render() for table in self.tables)
+
+
+#: A figure runner builds the result from a shared context.
+FigureRunner = Callable[[FigureContext], FigureResult]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registered paper figure.
+
+    ``uses_pipeline`` distinguishes the SNN train-and-evaluate figures
+    (which go through the executor, scale with ``--workers`` and benefit
+    from the persistent cache) from the pure circuit-tier figures.
+    """
+
+    name: str
+    title: str
+    description: str
+    runner: FigureRunner
+    tags: Tuple[str, ...] = ()
+    claims: Tuple[PaperClaim, ...] = ()
+    uses_pipeline: bool = False
+
+    def run(self, context: FigureContext) -> FigureResult:
+        """Execute the figure and stamp execution metadata on the result."""
+        stats = context.executor.stats
+        tasks_before, hits_before = stats.tasks_executed, stats.cache_hits
+        start = time.perf_counter()
+        result = self.runner(context)
+        result.wall_seconds = time.perf_counter() - start
+        result.figure = self.name
+        result.title = self.title
+        result.scale_name = context.scale
+        result.executor_tasks = stats.tasks_executed - tasks_before
+        result.executor_cache_hits = stats.cache_hits - hits_before
+        result.workers = context.executor.workers
+        return result
+
+
+_REGISTRY: Dict[str, FigureSpec] = {}
+
+
+def register_figure(spec: FigureSpec) -> FigureSpec:
+    """Add ``spec`` to the registry (names must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"figure {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def figure(
+    name: str,
+    *,
+    title: str,
+    description: str,
+    tags: Sequence[str] = (),
+    claims: Sequence[PaperClaim] = (),
+    uses_pipeline: bool = False,
+) -> Callable[[FigureRunner], FigureRunner]:
+    """Decorator registering a runner function as a :class:`FigureSpec`."""
+
+    def decorate(runner: FigureRunner) -> FigureRunner:
+        register_figure(
+            FigureSpec(
+                name=name,
+                title=title,
+                description=description,
+                runner=runner,
+                tags=tuple(tags),
+                claims=tuple(claims),
+                uses_pipeline=uses_pipeline,
+            )
+        )
+        return runner
+
+    return decorate
+
+
+def get_figure(name: str) -> FigureSpec:
+    """The registered spec for ``name`` (KeyError lists the valid names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def iter_figures() -> List[FigureSpec]:
+    """All registered specs, in paper order (registration order)."""
+    return list(_REGISTRY.values())
+
+
+def figure_names() -> List[str]:
+    """Names of every registered figure, in paper order."""
+    return list(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# Scale-dependent parameter grids.  ``paper`` uses the full published grids;
+# every reduced scale uses the corner points that still express the claims.
+# --------------------------------------------------------------------------
+
+
+def _threshold_grid(scale: str) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    if scale == "paper":
+        return (-0.2, -0.1, 0.1, 0.2), (0.0, 0.25, 0.5, 0.75, 1.0)
+    return (-0.2, 0.2), (0.0, 0.5, 1.0)
+
+
+def _theta_grid(scale: str) -> Tuple[float, ...]:
+    if scale in ("paper", "benchmark"):
+        return (-0.2, -0.1, 0.0, 0.1, 0.2)
+    return (-0.2, 0.0, 0.2)
+
+
+def _vdd_attack_grid(scale: str) -> Tuple[float, ...]:
+    if scale == "paper":
+        return VDD_GRID
+    return (0.8, 1.0, 1.2)
+
+
+def _fmt(value: float, pattern: str = "{:+.4f}") -> str:
+    return pattern.format(value)
+
+
+# --------------------------------------------------------------------------
+# Circuit tier: Figs. 3-6.
+# --------------------------------------------------------------------------
+
+
+@figure(
+    "fig3",
+    title="Fig. 3 — Axon-Hillock neuron transient waveforms",
+    description="Membrane/output waveforms of the Axon-Hillock neuron (MNA netlist)",
+    tags=("circuit", "waveform"),
+)
+def run_fig3(context: FigureContext) -> FigureResult:
+    design = AxonHillockDesign(
+        membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12
+    )
+    sim = simulate_axon_hillock(design, stop_time="6u", time_step="5n")
+    vout = sim.waveform("vout")
+    vmem = sim.waveform("vmem")
+    spikes = vout.detect_spikes(0.5, min_separation=200e-9)
+    metrics = {
+        "membrane_peak_V": float(vmem.maximum()),
+        "output_peak_V": float(vout.maximum()),
+        "output_spikes": float(len(spikes)),
+        "first_spike_us": float(spikes[0] * 1e6) if len(spikes) else float("nan"),
+    }
+    table = FigureTable(
+        title="Fig. 3 (Axon-Hillock)",
+        headers=["quantity", "value"],
+        rows=[[key, f"{value:g}"] for key, value in metrics.items()],
+    )
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "time_s": np.asarray(vout.time),
+            "vmem_V": np.asarray(vmem.values),
+            "vout_V": np.asarray(vout.values),
+        },
+        tables=[table],
+    )
+
+
+@figure(
+    "fig4",
+    title="Fig. 4 — I&F amplifier neuron transient waveforms",
+    description="Membrane/comparator waveforms of the voltage-amplifier I&F neuron",
+    tags=("circuit", "waveform"),
+)
+def run_fig4(context: FigureContext) -> FigureResult:
+    sim = simulate_if_neuron(stop_time="150u", time_step="25n")
+    vmem = sim.waveform("vmem")
+    vcmp = sim.waveform("vcmp")
+    spikes = vcmp.detect_spikes(0.5, min_separation=1e-6)
+    metrics = {
+        "membrane_peak_V": float(vmem.maximum()),
+        "comparator_spikes": float(len(spikes)),
+        "first_spike_us": float(spikes[0] * 1e6) if len(spikes) else float("nan"),
+    }
+    table = FigureTable(
+        title="Fig. 4 (I&F neuron)",
+        headers=["quantity", "value"],
+        rows=[[key, f"{value:g}"] for key, value in metrics.items()],
+    )
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "time_s": np.asarray(vmem.time),
+            "vmem_V": np.asarray(vmem.values),
+            "vcmp_V": np.asarray(vcmp.values),
+        },
+        tables=[table],
+    )
+
+
+@figure(
+    "fig5",
+    title="Fig. 5b/5c — driver amplitude and time-to-spike vs VDD",
+    description="Current-driver output amplitude across the supply range and the "
+    "induced neuron time-to-spike change",
+    tags=("circuit", "driver"),
+    claims=(
+        PaperClaim("amplitude_change_at_0v8", -0.32, "driver amplitude at 0.8 V"),
+        PaperClaim("amplitude_change_at_1v2", 0.32, "driver amplitude at 1.2 V"),
+        PaperClaim("ah_tts_change_at_0v8_pct", 53.7, "AH time-to-spike at 0.8 V"),
+        PaperClaim("ah_tts_change_at_1v2_pct", -24.7, "AH time-to-spike at 1.2 V"),
+        PaperClaim("if_period_change_at_0v8_pct", 14.5, "I&F period at 0.8 V"),
+        PaperClaim("if_period_change_at_1v2_pct", -6.7, "I&F period at 1.2 V"),
+    ),
+)
+def run_fig5(context: FigureContext) -> FigureResult:
+    vdd = np.asarray(VDD_GRID)
+    circuit_amps = amplitude_vs_vdd(vdd)
+    driver = CurrentDriverModel()
+    model_amps = driver.amplitude_vs_vdd(vdd)
+    nominal = circuit_amps[2]
+
+    axon_hillock = AxonHillockModel()
+    if_neuron = IFAmplifierModel()
+    base_ah = axon_hillock.time_to_first_spike(driver.nominal_amplitude)
+    base_if = if_neuron.inter_spike_interval(driver.nominal_amplitude)
+    ah_changes, if_changes = [], []
+    for value in vdd:
+        amplitude = driver.amplitude(float(value))
+        ah = (axon_hillock.time_to_first_spike(amplitude) - base_ah) / base_ah
+        if_ = (if_neuron.inter_spike_interval(amplitude) - base_if) / base_if
+        ah_changes.append(ah * 100.0)
+        if_changes.append(if_ * 100.0)
+    ah_changes = np.asarray(ah_changes)
+    if_changes = np.asarray(if_changes)
+
+    amplitude_rows = [
+        [
+            f"{value:g}",
+            f"{circuit_amps[i] * 1e9:.1f}",
+            f"{model_amps[i] * 1e9:.1f}",
+            f"{(circuit_amps[i] / nominal - 1) * 100:+.1f}",
+        ]
+        for i, value in enumerate(vdd)
+    ]
+    tts_rows = [
+        [
+            f"{value:g}",
+            f"{driver.amplitude(float(value)) * 1e9:.1f}",
+            f"{ah_changes[i]:+.1f}",
+            f"{if_changes[i]:+.1f}",
+        ]
+        for i, value in enumerate(vdd)
+    ]
+    metrics = {
+        "amplitude_change_at_0v8": float(circuit_amps[0] / nominal - 1.0),
+        "amplitude_change_at_1v2": float(circuit_amps[-1] / nominal - 1.0),
+        "ah_tts_change_at_0v8_pct": float(ah_changes[0]),
+        "ah_tts_change_at_1v2_pct": float(ah_changes[-1]),
+        "if_period_change_at_0v8_pct": float(if_changes[0]),
+        "if_period_change_at_1v2_pct": float(if_changes[-1]),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "vdd_V": vdd,
+            "circuit_amplitude_A": np.asarray(circuit_amps),
+            "model_amplitude_A": np.asarray(model_amps),
+            "ah_tts_change_pct": ah_changes,
+            "if_period_change_pct": if_changes,
+        },
+        tables=[
+            FigureTable(
+                title="Fig. 5b — driver output amplitude vs VDD",
+                headers=[
+                    "VDD (V)",
+                    "circuit amplitude (nA)",
+                    "model amplitude (nA)",
+                    "change (%)",
+                ],
+                rows=amplitude_rows,
+            ),
+            FigureTable(
+                title="Fig. 5c — time-to-spike vs input amplitude",
+                headers=[
+                    "VDD (V)",
+                    "Iin (nA)",
+                    "AH time-to-spike change (%)",
+                    "I&F period change (%)",
+                ],
+                rows=tts_rows,
+            ),
+        ],
+    )
+
+
+@figure(
+    "fig6",
+    title="Fig. 6 — membrane-threshold sensitivity vs VDD",
+    description="Inverter/comparator trip points and the induced time-to-spike "
+    "change of both neurons across the supply range",
+    tags=("circuit", "threshold"),
+    claims=(
+        PaperClaim("threshold_change_at_0v8", -0.179, "AH threshold at 0.8 V"),
+        PaperClaim("threshold_change_at_1v2", 0.168, "AH threshold at 1.2 V"),
+    ),
+)
+def run_fig6(context: FigureContext) -> FigureResult:
+    vdd = np.asarray(VDD_GRID)
+    circuit_thresholds = np.asarray(threshold_vs_vdd(vdd))
+    axon_hillock = AxonHillockModel()
+    if_neuron = IFAmplifierModel()
+    ah_model = np.asarray([axon_hillock.membrane_threshold(v) for v in vdd])
+    if_model = np.asarray([if_neuron.membrane_threshold(v) for v in vdd])
+
+    base_ah = axon_hillock.time_to_first_spike(200e-9, vdd=1.0)
+    base_if = if_neuron.time_to_first_spike(200e-9, vdd=1.0)
+    ah_tts = np.asarray(
+        [
+            (axon_hillock.time_to_first_spike(200e-9, vdd=float(v)) - base_ah)
+            / base_ah
+            * 100.0
+            for v in vdd
+        ]
+    )
+    if_tts = np.asarray(
+        [
+            (if_neuron.time_to_first_spike(200e-9, vdd=float(v)) - base_if)
+            / base_if
+            * 100.0
+            for v in vdd
+        ]
+    )
+
+    nominal = circuit_thresholds[2]
+    metrics = {
+        "threshold_change_at_0v8": float(circuit_thresholds[0] / nominal - 1.0),
+        "threshold_change_at_1v2": float(circuit_thresholds[-1] / nominal - 1.0),
+        "ah_tts_change_at_0v8_pct": float(ah_tts[0]),
+        "ah_tts_change_at_1v2_pct": float(ah_tts[-1]),
+        "if_tts_change_at_0v8_pct": float(if_tts[0]),
+        "if_tts_change_at_1v2_pct": float(if_tts[-1]),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "vdd_V": vdd,
+            "inverter_threshold_V": circuit_thresholds,
+            "ah_model_threshold_V": ah_model,
+            "if_model_threshold_V": if_model,
+            "ah_tts_change_pct": ah_tts,
+            "if_tts_change_pct": if_tts,
+        },
+        tables=[
+            FigureTable(
+                title="Fig. 6a — membrane threshold vs VDD",
+                headers=[
+                    "VDD (V)",
+                    "inverter threshold (V)",
+                    "AH model threshold (V)",
+                    "I&F threshold (V)",
+                ],
+                rows=[
+                    [
+                        f"{v:g}",
+                        f"{circuit_thresholds[i]:.3f}",
+                        f"{ah_model[i]:.3f}",
+                        f"{if_model[i]:.3f}",
+                    ]
+                    for i, v in enumerate(vdd)
+                ],
+            ),
+            FigureTable(
+                title="Fig. 6b/6c — time-to-spike vs VDD",
+                headers=[
+                    "VDD (V)",
+                    "AH time-to-spike change (%)",
+                    "I&F time-to-spike change (%)",
+                ],
+                rows=[
+                    [f"{v:g}", f"{ah_tts[i]:+.1f}", f"{if_tts[i]:+.1f}"]
+                    for i, v in enumerate(vdd)
+                ],
+            ),
+        ],
+    )
+
+
+# --------------------------------------------------------------------------
+# Pipeline tier: attack figures (Figs. 7b-9a) and the headline summary.
+# --------------------------------------------------------------------------
+
+
+def _sweep_table(title: str, parameter: str, values, accuracies, baseline) -> FigureTable:
+    rows = [
+        [f"{value:g}", f"{accuracy:.4f}", _fmt(accuracy - baseline)]
+        for value, accuracy in zip(values, accuracies)
+    ]
+    return FigureTable(
+        title=f"{title} (baseline {baseline:.4f})",
+        headers=[parameter, "accuracy", "change vs baseline"],
+        rows=rows,
+    )
+
+
+def _grid_table(grid) -> FigureTable:
+    headers = [grid.row_parameter] + [
+        f"{grid.column_parameter}={value:g}" for value in grid.column_values
+    ]
+    rows = []
+    for i, row_value in enumerate(grid.row_values):
+        cells = [f"{row_value:+g}"]
+        cells += [
+            _fmt(grid.accuracies[i, j] - grid.baseline_accuracy)
+            for j in range(len(grid.column_values))
+        ]
+        rows.append(cells)
+    title = (
+        f"{grid.name} (baseline accuracy {grid.baseline_accuracy:.4f}, "
+        f"scale {grid.scale_name})"
+    )
+    return FigureTable(title=title, headers=headers, rows=rows)
+
+
+@figure(
+    "fig7b",
+    title="Fig. 7b — Attack 1: accuracy vs theta corruption",
+    description="Accuracy vs per-spike membrane-charge (theta) change from the "
+    "corrupted input driver",
+    tags=("attack", "snn"),
+    claims=(
+        PaperClaim("worst_relative_degradation", 0.015, "worst-case degradation"),
+    ),
+    uses_pipeline=True,
+)
+def run_fig7b(context: FigureContext) -> FigureResult:
+    theta_changes = _theta_grid(context.scale)
+    sweep = context.campaign().sweep_attack1_theta(theta_changes)
+    worst = sweep.worst_case()
+    metrics = {
+        "baseline_accuracy": float(sweep.baseline_accuracy),
+        "worst_accuracy": float(worst.accuracy),
+        "worst_relative_degradation": float(worst.result.relative_degradation or 0.0),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={"theta_changes": sweep.values, "accuracies": sweep.accuracies()},
+        tables=[
+            _sweep_table(
+                "Fig. 7b — Attack 1 (input-driver corruption)",
+                "theta change",
+                sweep.values,
+                sweep.accuracies(),
+                sweep.baseline_accuracy,
+            )
+        ],
+    )
+
+
+@figure(
+    "fig8",
+    title="Fig. 8a-8c — Attacks 2-4: layer-threshold corruption",
+    description="Accuracy vs membrane-threshold change x fraction of the "
+    "excitatory layer (8a), inhibitory layer (8b) and both layers (8c)",
+    tags=("attack", "snn"),
+    claims=(
+        PaperClaim(
+            "worst_relative_degradation_excitatory", 0.0732, "Fig. 8a worst case"
+        ),
+        PaperClaim(
+            "worst_relative_degradation_inhibitory", 0.8452, "Fig. 8b worst case"
+        ),
+        PaperClaim("worst_relative_degradation_both", 0.8565, "Fig. 8c worst case"),
+    ),
+    uses_pipeline=True,
+)
+def run_fig8(context: FigureContext) -> FigureResult:
+    changes, fractions = _threshold_grid(context.scale)
+    campaign = context.campaign()
+    excitatory = campaign.sweep_layer_threshold("excitatory", changes, fractions)
+    inhibitory = campaign.sweep_layer_threshold("inhibitory", changes, fractions)
+    both = campaign.sweep_both_layers(changes)
+    worst_both = both.worst_case()
+    metrics = {
+        "baseline_accuracy": float(excitatory.baseline_accuracy),
+        "worst_relative_degradation_excitatory": float(
+            excitatory.worst_case_relative_degradation()
+        ),
+        "worst_relative_degradation_inhibitory": float(
+            inhibitory.worst_case_relative_degradation()
+        ),
+        "worst_relative_degradation_both": float(
+            worst_both.result.relative_degradation or 0.0
+        ),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "threshold_changes": np.asarray(changes, dtype=float),
+            "fractions": np.asarray(fractions, dtype=float),
+            "accuracies_excitatory": excitatory.accuracies,
+            "accuracies_inhibitory": inhibitory.accuracies,
+            "both_threshold_changes": both.values,
+            "accuracies_both": both.accuracies(),
+        },
+        tables=[
+            _grid_table(excitatory),
+            _grid_table(inhibitory),
+            _sweep_table(
+                "Fig. 8c — Attack 4 (both layers)",
+                "threshold change",
+                both.values,
+                both.accuracies(),
+                both.baseline_accuracy,
+            ),
+        ],
+    )
+
+
+@figure(
+    "fig9a",
+    title="Fig. 9a — Attack 5: black-box global-VDD fault",
+    description="Accuracy vs the shared supply voltage; theta and threshold "
+    "corruption follow from the circuit-calibrated VDD map",
+    tags=("attack", "snn", "black-box"),
+    claims=(
+        PaperClaim(
+            "relative_degradation_at_0v8", 0.8493, "worst-case degradation at 0.8 V"
+        ),
+    ),
+    uses_pipeline=True,
+)
+def run_fig9a(context: FigureContext) -> FigureResult:
+    vdd_values = _vdd_attack_grid(context.scale)
+    sweep = context.campaign().sweep_global_vdd(vdd_values)
+    accuracies = sweep.accuracies()
+    by_vdd = {float(v): float(a) for v, a in zip(sweep.values, accuracies)}
+    baseline = float(sweep.baseline_accuracy)
+    degradation_08 = (
+        (baseline - by_vdd[0.8]) / baseline if baseline and 0.8 in by_vdd else 0.0
+    )
+    metrics = {
+        "baseline_accuracy": baseline,
+        "accuracy_at_nominal": by_vdd.get(1.0, baseline),
+        "accuracy_at_0v8": by_vdd.get(0.8, float("nan")),
+        "relative_degradation_at_0v8": float(degradation_08),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={"vdd_V": sweep.values, "accuracies": accuracies},
+        tables=[
+            _sweep_table(
+                "Fig. 9a — Attack 5 (whole-system supply fault)",
+                "VDD (V)",
+                sweep.values,
+                accuracies,
+                baseline,
+            )
+        ],
+    )
+
+
+@figure(
+    "summary",
+    title="Headline summary — all five attacks vs one pipeline",
+    description="One representative point per attack family (the comparison "
+    "behind Figs. 7b-9a)",
+    tags=("attack", "snn", "summary"),
+    uses_pipeline=True,
+)
+def run_summary(context: FigureContext) -> FigureResult:
+    attacks = [
+        Attack1InputSpikeCorruption(theta_change=-0.2),
+        Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=1.0),
+        Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
+        Attack4BothLayerThreshold(threshold_change=-0.2),
+        Attack5GlobalSupply(vdd=0.8),
+    ]
+    results = context.executor.map([None] + attacks)
+    baseline, attacked = results[0], results[1:]
+    rows = [["baseline", f"{baseline.accuracy:.3f}", "-", "-"]]
+    metrics = {"baseline_accuracy": float(baseline.accuracy)}
+    accuracies = [float(baseline.accuracy)]
+    for index, (attack, result) in enumerate(zip(attacks, attacked), start=1):
+        degradation = result.relative_degradation
+        rows.append(
+            [
+                attack.label(),
+                f"{result.accuracy:.3f}",
+                _fmt(result.accuracy_change or 0.0, "{:+.3f}"),
+                "n/a" if degradation is None else f"{degradation:.1%}",
+            ]
+        )
+        metrics[f"attack{index}_accuracy"] = float(result.accuracy)
+        metrics[f"attack{index}_relative_degradation"] = float(degradation or 0.0)
+        accuracies.append(float(result.accuracy))
+    return FigureResult(
+        metrics=metrics,
+        arrays={"accuracies": np.asarray(accuracies)},
+        tables=[
+            FigureTable(
+                title="Power-oriented fault-injection attacks on the Diehl&Cook SNN",
+                headers=["attack", "accuracy", "change", "relative degradation"],
+                rows=rows,
+            )
+        ],
+    )
+
+
+# --------------------------------------------------------------------------
+# Defense tier: Figs. 9b-10c, Sec. V residuals and overheads.
+# --------------------------------------------------------------------------
+
+
+@figure(
+    "fig9b",
+    title="Fig. 9b — robust current driver",
+    description="The op-amp regulated driver keeps the input spike amplitude "
+    "flat across the supply range",
+    tags=("defense", "circuit"),
+    claims=(PaperClaim("max_defended_change", 0.01, "residual amplitude change"),),
+)
+def run_fig9b(context: FigureContext) -> FigureResult:
+    defense = RobustDriverDefense()
+    vdd = np.asarray(VDD_GRID)
+    undefended = np.asarray([defense.undefended_theta_scale(v) - 1.0 for v in vdd])
+    defended = np.asarray([defense.residual_theta_change(v) for v in vdd])
+    metrics = {
+        "max_undefended_change": float(np.abs(undefended).max()),
+        "max_defended_change": float(np.abs(defended).max()),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "vdd_V": vdd,
+            "undefended_amplitude_change": undefended,
+            "defended_amplitude_change": defended,
+        },
+        tables=[
+            FigureTable(
+                title="Fig. 9b — robust current driver",
+                headers=[
+                    "VDD (V)",
+                    "unprotected amplitude change",
+                    "robust-driver amplitude change",
+                ],
+                rows=[
+                    [f"{v:g}", _fmt(undefended[i]), _fmt(defended[i])]
+                    for i, v in enumerate(vdd)
+                ],
+            )
+        ],
+    )
+
+
+@figure(
+    "fig9c",
+    title="Fig. 9c — Axon-Hillock sizing defense",
+    description="Up-sizing the first-inverter device shrinks the threshold "
+    "corruption at 0.8 V and recovers the attacked accuracy",
+    tags=("defense", "circuit", "snn"),
+    claims=(
+        PaperClaim("threshold_change_1x", -0.18, "undefended threshold at 0.8 V"),
+        PaperClaim("threshold_change_32x", -0.0523, "32:1 residual threshold"),
+    ),
+    uses_pipeline=True,
+)
+def run_fig9c(context: FigureContext) -> FigureResult:
+    defense = SizingDefense()
+    points = defense.sweep(SIZING_FACTORS, vdd=0.8)
+    residual_scale = defense.residual_threshold_scale(SIZING_FACTORS[-1], 0.8)
+    evaluator = DefenseAccuracyEvaluator(context.pipeline, executor=context.executor)
+    point = evaluator.evaluate_threshold_defenses(
+        {"32x sizing": residual_scale - 1.0}, undefended_change=-0.2
+    )[0]
+    defended, undefended, baseline = point.defended, point.undefended, point.baseline
+    metrics = {
+        "threshold_change_1x": float(points[0].threshold_change),
+        "threshold_change_32x": float(points[-1].threshold_change),
+        "baseline_accuracy": float(baseline.accuracy),
+        "defended_accuracy": float(defended.accuracy),
+        "undefended_accuracy": float(undefended.accuracy),
+        "defended_relative_degradation": float(defended.relative_degradation or 0.0),
+        "undefended_relative_degradation": float(
+            undefended.relative_degradation or 0.0
+        ),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "sizing_factors": np.asarray(SIZING_FACTORS, dtype=float),
+            "threshold_change": np.asarray(
+                [p.threshold_change for p in points]
+            ),
+            "nominal_threshold_V": np.asarray(
+                [p.nominal_threshold for p in points]
+            ),
+            "threshold_at_0v8_V": np.asarray(
+                [p.threshold_at_vdd for p in points]
+            ),
+        },
+        tables=[
+            FigureTable(
+                title="Fig. 9c — sizing defense (threshold sensitivity)",
+                headers=[
+                    "W/L factor",
+                    "nominal threshold (V)",
+                    "threshold @0.8V (V)",
+                    "change",
+                ],
+                rows=[[str(cell) for cell in p.as_row()] for p in points],
+            ),
+            FigureTable(
+                title="Fig. 9c — accuracy recovery",
+                headers=["case", "accuracy", "relative degradation"],
+                rows=[
+                    [
+                        "undefended (-20% threshold)",
+                        f"{undefended.accuracy:.4f}",
+                        f"{undefended.relative_degradation:.1%}",
+                    ],
+                    [
+                        f"defended (32x sizing, residual "
+                        f"{points[-1].threshold_change:+.1%})",
+                        f"{defended.accuracy:.4f}",
+                        f"{defended.relative_degradation:.1%}",
+                    ],
+                    ["baseline", f"{baseline.accuracy:.4f}", "0.0%"],
+                ],
+            ),
+        ],
+    )
+
+
+@figure(
+    "fig10a",
+    title="Fig. 10a — comparator-based threshold hardening",
+    description="The reference-biased comparator pins the Axon-Hillock "
+    "membrane threshold across the supply range",
+    tags=("defense", "circuit"),
+)
+def run_fig10a(context: FigureContext) -> FigureResult:
+    defense = ComparatorNeuronDefense()
+    vdd = np.asarray(VDD_GRID)
+    undefended = np.asarray([defense.undefended_threshold_scale(v) for v in vdd])
+    defended = np.asarray([defense.threshold_scale(v) for v in vdd])
+    metrics = {
+        "undefended_ptp": float(np.ptp(undefended)),
+        "defended_ptp": float(np.ptp(defended)),
+    }
+    return FigureResult(
+        metrics=metrics,
+        arrays={
+            "vdd_V": vdd,
+            "undefended_threshold_scale": undefended,
+            "defended_threshold_scale": defended,
+        },
+        tables=[
+            FigureTable(
+                title="Fig. 10a — comparator-based threshold hardening",
+                headers=[
+                    "VDD (V)",
+                    "inverter threshold scale",
+                    "comparator threshold scale",
+                ],
+                rows=[
+                    [f"{v:g}", f"{undefended[i]:.4f}", f"{defended[i]:.4f}"]
+                    for i, v in enumerate(vdd)
+                ],
+            )
+        ],
+    )
+
+
+@figure(
+    "fig10c",
+    title="Fig. 10c — dummy-neuron VFI detector",
+    description="The dummy neuron's spike count deviates >=10% from the "
+    "calibration count under +/-20% supply glitches",
+    tags=("defense", "detector"),
+)
+def run_fig10c(context: FigureContext) -> FigureResult:
+    arrays: Dict[str, np.ndarray] = {"vdd_V": np.asarray(VDD_GRID)}
+    metrics: Dict[str, float] = {}
+    rows = []
+    for prefix, neuron_type in (("ah", "axon_hillock"), ("if", "if_amplifier")):
+        detector = DummyNeuronDetector(neuron_type=neuron_type)
+        outcomes = detector.sweep(VDD_GRID)
+        arrays[f"{prefix}_spike_count"] = np.asarray(
+            [o.spike_count for o in outcomes], dtype=float
+        )
+        arrays[f"{prefix}_deviation"] = np.asarray([o.deviation for o in outcomes])
+        arrays[f"{prefix}_detected"] = np.asarray(
+            [o.detected for o in outcomes], dtype=bool
+        )
+        by_vdd = {o.vdd: o for o in outcomes}
+        metrics[f"{prefix}_detects_corners"] = float(
+            by_vdd[0.8].detected and by_vdd[1.2].detected
+        )
+        metrics[f"{prefix}_false_alarm_at_nominal"] = float(by_vdd[1.0].detected)
+        rows += [
+            [
+                neuron_type,
+                f"{o.vdd:g}",
+                str(o.spike_count),
+                f"{o.deviation:+.1%}",
+                "ATTACK" if o.detected else "ok",
+            ]
+            for o in outcomes
+        ]
+    return FigureResult(
+        metrics=metrics,
+        arrays=arrays,
+        tables=[
+            FigureTable(
+                title="Fig. 10c — dummy-neuron output spikes vs VDD",
+                headers=["neuron", "VDD (V)", "spike count", "deviation", "verdict"],
+                rows=rows,
+            )
+        ],
+    )
+
+
+@figure(
+    "residuals",
+    title="Sec. V — residual corruption after each defense",
+    description="How much of the attack-induced parameter corruption survives "
+    "each countermeasure at VDD = 0.8 V",
+    tags=("defense",),
+)
+def run_residuals(context: FigureContext) -> FigureResult:
+    attack_vdd = 0.8
+    robust = RobustDriverDefense()
+    bandgap = BandgapThresholdDefense()
+    sizing = SizingDefense()
+    comparator = ComparatorNeuronDefense()
+    entries = [
+        (
+            "robust current driver",
+            robust.undefended_theta_scale(attack_vdd) - 1.0,
+            robust.residual_theta_change(attack_vdd),
+            "robust_driver_residual",
+        ),
+        (
+            "bandgap threshold (I&F)",
+            bandgap.undefended_threshold_scale(attack_vdd) - 1.0,
+            bandgap.residual_threshold_change(attack_vdd),
+            "bandgap_residual",
+        ),
+        (
+            "32x sizing (Axon-Hillock)",
+            sizing.threshold_change(1.0, attack_vdd),
+            sizing.threshold_change(32.0, attack_vdd),
+            "sizing_residual_32x",
+        ),
+        (
+            "comparator neuron (Axon-Hillock)",
+            comparator.undefended_threshold_scale(attack_vdd) - 1.0,
+            comparator.threshold_scale(attack_vdd) - 1.0,
+            "comparator_residual",
+        ),
+    ]
+    metrics = {key: float(residual) for _, _, residual, key in entries}
+    rows = [
+        [name, f"{undefended:+.1%}", f"{residual:+.2%}"]
+        for name, undefended, residual, _ in entries
+    ]
+    return FigureResult(
+        metrics=metrics,
+        tables=[
+            FigureTable(
+                title=f"Residual parameter corruption at VDD = {attack_vdd} V",
+                headers=["defense", "corruption without defense", "residual"],
+                rows=rows,
+            )
+        ],
+    )
+
+
+@figure(
+    "overheads",
+    title="Sec. V — defense power/area overheads",
+    description="Cost of every countermeasure for the 200-neuron SNN",
+    tags=("defense", "overhead"),
+    claims=(
+        PaperClaim("robust_current_driver_power", 0.03, "robust driver power"),
+        PaperClaim("axon_hillock_sizing_power", 0.25, "sizing power"),
+        PaperClaim("comparator_neuron_power", 0.11, "comparator power"),
+        PaperClaim("bandgap_threshold_area", 0.65, "bandgap area at 200 neurons"),
+    ),
+)
+def run_overheads(context: FigureContext) -> FigureResult:
+    report = overhead_report(200)
+    metrics: Dict[str, float] = {}
+    for overhead in report:
+        metrics[f"{overhead.name}_power"] = float(overhead.power_overhead)
+        metrics[f"{overhead.name}_area"] = float(overhead.area_overhead)
+    return FigureResult(
+        metrics=metrics,
+        tables=[
+            FigureTable(
+                title="Defense overheads (200-neuron SNN, paper Sec. V)",
+                headers=["defense", "power overhead", "area overhead", "protects"],
+                rows=[[str(cell) for cell in o.as_row()] for o in report],
+            )
+        ],
+    )

@@ -17,7 +17,7 @@ models; :func:`circuit_parameter_map` derives them from the MNA netlists
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

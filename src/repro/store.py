@@ -1,0 +1,276 @@
+"""Persistent, schema-versioned figure-result artifacts and a disk cache.
+
+Two persistence layers back the ``python -m repro`` CLI:
+
+* **Figure artifacts** — :func:`save_figure_result` writes one JSON document
+  (metrics, rendered tables, paper claims, full provenance: config, seed,
+  scale, git SHA, wall-clock, executor cache hits, library versions) plus
+  one NPZ file holding the figure's arrays.  :func:`load_figure_result`
+  reads both back; the JSON carries a SHA-256 digest per array so artifact
+  integrity is checkable offline.
+* **The executor result cache** — :class:`PersistentResultCache` is a
+  :class:`~repro.exec.cache.ResultCache` that mirrors every
+  :class:`~repro.core.results.ExperimentResult` it stores to a JSON file.
+  A new process pointed at the same file resumes where the last one
+  stopped: already-evaluated attack configurations are served as cache
+  hits with bit-identical numbers (JSON round-trips Python floats
+  exactly), and only missing grid points are trained.
+
+Artifacts are forward-compatible through ``schema_version``; loaders
+reject documents from a newer schema instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+import repro
+from repro.core.config import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.exec.cache import ResultCache
+from repro.figures import FigureResult, FigureSpec
+from repro.utils.serialization import to_jsonable
+
+#: Version of the artifact document layout.  Bump on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def git_revision(repo_root: Optional[Path] = None) -> str:
+    """The current git commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root or Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = output.stdout.strip()
+    return sha if output.returncode == 0 and sha else "unknown"
+
+
+@dataclass(frozen=True)
+class ArtifactPaths:
+    """Where one figure's artifact pair was written."""
+
+    json_path: Path
+    npz_path: Path
+
+
+@dataclass
+class StoredFigure:
+    """A figure artifact loaded back from disk."""
+
+    document: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def figure(self) -> str:
+        """Registry name of the figure."""
+        return self.document["figure"]
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Scalar metrics of the reproduction."""
+        return self.document["metrics"]
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        """Config/seed/git-SHA/timing provenance of the run."""
+        return self.document["provenance"]
+
+
+def _array_digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def build_provenance(
+    result: FigureResult, config: ExperimentConfig, *, git_sha: Optional[str] = None
+) -> Dict[str, Any]:
+    """The provenance block stored with every artifact."""
+    return {
+        "config": to_jsonable(config),
+        "seed": config.seed,
+        "scale": config.scale_name,
+        "git_sha": git_sha if git_sha is not None else git_revision(),
+        "created_at_unix": time.time(),
+        "wall_seconds": result.wall_seconds,
+        "workers": result.workers,
+        "executor_tasks": result.executor_tasks,
+        "executor_cache_hits": result.executor_cache_hits,
+        "versions": {
+            "repro": repro.__version__,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+        },
+    }
+
+
+def save_figure_result(
+    spec: FigureSpec,
+    result: FigureResult,
+    out_dir: Path | str,
+    *,
+    config: ExperimentConfig,
+    git_sha: Optional[str] = None,
+) -> ArtifactPaths:
+    """Persist ``result`` as ``<name>.json`` + ``<name>.npz`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / f"{spec.name}.json"
+    npz_path = out_dir / f"{spec.name}.npz"
+
+    np.savez(npz_path, **result.arrays)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "figure": spec.name,
+        "title": spec.title,
+        "description": spec.description,
+        "tags": list(spec.tags),
+        "metrics": to_jsonable(result.metrics),
+        "tables": [
+            {"title": t.title, "headers": t.headers, "rows": t.rows}
+            for t in result.tables
+        ],
+        "claims": [
+            {
+                "metric": claim.metric,
+                "paper_value": claim.paper_value,
+                "description": claim.description,
+            }
+            for claim in spec.claims
+        ],
+        "arrays": {
+            name: {
+                "npz": npz_path.name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "sha256": _array_digest(array),
+            }
+            for name, array in result.arrays.items()
+        },
+        "provenance": build_provenance(result, config, git_sha=git_sha),
+    }
+    _atomic_write_json(json_path, document)
+    return ArtifactPaths(json_path=json_path, npz_path=npz_path)
+
+
+def load_figure_result(json_path: Path | str) -> StoredFigure:
+    """Load one artifact pair; verifies the schema and array digests."""
+    json_path = Path(json_path)
+    with open(json_path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{json_path} has artifact schema {version!r}; this build reads "
+            f"schemas <= {SCHEMA_VERSION}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = document.get("arrays", {})
+    if manifest:
+        npz_names = {entry["npz"] for entry in manifest.values()}
+        loaded: Dict[str, np.ndarray] = {}
+        for npz_name in sorted(npz_names):
+            with np.load(json_path.parent / npz_name) as payload:
+                loaded.update({key: payload[key] for key in payload.files})
+        for name, entry in manifest.items():
+            array = loaded[name]
+            digest = _array_digest(array)
+            if digest != entry["sha256"]:
+                raise ValueError(
+                    f"array {name!r} of {json_path} is corrupt: digest mismatch"
+                )
+            arrays[name] = array
+    return StoredFigure(document=document, arrays=arrays)
+
+
+def is_figure_artifact(json_path: Path | str) -> bool:
+    """True when ``json_path`` looks like a figure artifact document."""
+    try:
+        with open(json_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    return isinstance(document, dict) and "schema_version" in document and "figure" in document
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+class PersistentResultCache(ResultCache):
+    """A :class:`ResultCache` whose experiment results survive the process.
+
+    Every :class:`~repro.core.results.ExperimentResult` put into the cache
+    is mirrored to one JSON file (written atomically), keyed by the
+    executor's scoped content key.  Loading the file back reconstructs the
+    results exactly — JSON preserves Python floats bit-for-bit — so a
+    re-run of the same figures completes from cache hits alone.  Values of
+    other types stay in memory only (the executor never produces them for
+    the registered figures).
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._persisted: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            version = payload.get("schema_version")
+            if not isinstance(version, int) or version > SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path} has cache schema {version!r}; this build "
+                    f"reads schemas <= {SCHEMA_VERSION} — delete the file to "
+                    "start a fresh cache"
+                )
+            entries = payload.get("results", {})
+            for key, fields in entries.items():
+                try:
+                    result = ExperimentResult(**fields)
+                except TypeError:
+                    # An entry written by a different ExperimentResult layout
+                    # (same schema, drifted fields): drop it — a cache miss
+                    # re-trains the point, a bad hit would corrupt figures.
+                    continue
+                self._persisted[key] = fields
+                self._results[key] = result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` and, for experiment results, flush it to disk.
+
+        The flush rewrites the whole file per put; with entries this small
+        that costs milliseconds against the multi-second training run each
+        entry represents, and it is what makes a run interrupted mid-figure
+        resumable from every result it had already computed.
+        """
+        super().put(key, result)
+        if isinstance(result, ExperimentResult):
+            self._persisted[key] = dataclasses.asdict(result)
+            self._flush()
+
+    def _flush(self) -> None:
+        payload: Mapping[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "results": self._persisted,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.path, payload)

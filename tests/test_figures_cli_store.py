@@ -1,0 +1,312 @@
+"""Tests for the figure registry, the ``python -m repro`` CLI and the store.
+
+Covers the ISSUE 2 acceptance criteria: ``repro list`` output, running one
+registered figure at tiny scale, JSON/NPZ artifact round-trips (load ==
+saved), and cache-resume (a second run against the same results directory
+completes from executor cache hits with bit-identical numbers).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import ExperimentConfig
+from repro.core.results import ExperimentResult
+from repro.exec.executor import SweepExecutor
+from repro.figures import (
+    FigureResult,
+    FigureTable,
+    figure_names,
+    get_figure,
+    iter_figures,
+)
+from repro.store import (
+    SCHEMA_VERSION,
+    PersistentResultCache,
+    is_figure_artifact,
+    load_figure_result,
+    save_figure_result,
+)
+
+EXPECTED_FIGURES = {
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7b",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig10a",
+    "fig10c",
+    "residuals",
+    "overheads",
+    "summary",
+}
+
+
+class TestRegistry:
+    def test_every_paper_figure_is_registered(self):
+        assert EXPECTED_FIGURES == set(figure_names())
+
+    def test_specs_carry_metadata(self):
+        for spec in iter_figures():
+            assert spec.title and spec.description
+            assert spec.tags
+            for claim in spec.claims:
+                assert claim.metric
+
+    def test_unknown_figure_lists_the_valid_names(self):
+        with pytest.raises(KeyError, match="fig8"):
+            get_figure("fig999")
+
+    def test_pipeline_figures_are_flagged(self):
+        assert get_figure("fig8").uses_pipeline
+        assert not get_figure("fig3").uses_pipeline
+
+
+class TestScalePresets:
+    def test_presets_cover_every_scale(self):
+        assert set(ExperimentConfig.presets()) == {
+            "paper",
+            "benchmark",
+            "smoke",
+            "tiny",
+        }
+
+    def test_from_scale_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="tiny"):
+            ExperimentConfig.from_scale("enormous")
+
+    def test_from_environment_accepts_tiny(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert ExperimentConfig.from_environment().scale_name == "tiny"
+
+    def test_from_environment_error_names_the_valid_scales(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError, match="benchmark"):
+            ExperimentConfig.from_environment()
+
+
+class TestCLIList:
+    def test_list_names_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_FIGURES:
+            assert name in out
+
+    def test_run_rejects_unknown_figures(self):
+        with pytest.raises(SystemExit, match="fig999"):
+            main(["run", "fig999"])
+
+    def test_run_without_figures_requires_all(self):
+        with pytest.raises(SystemExit, match="--all"):
+            main(["run"])
+
+
+class TestStoreRoundTrip:
+    def _synthetic_result(self) -> FigureResult:
+        return FigureResult(
+            figure="synthetic",
+            metrics={"accuracy": 0.12345678901234567, "spikes": 42.0},
+            arrays={
+                "grid": np.arange(6, dtype=float).reshape(2, 3),
+                "flags": np.array([True, False]),
+            },
+            tables=[
+                FigureTable(title="t", headers=["a", "b"], rows=[["1", "2"]])
+            ],
+            wall_seconds=1.25,
+            executor_tasks=3,
+            executor_cache_hits=1,
+        )
+
+    def test_json_npz_round_trip(self, tmp_path):
+        spec = get_figure("overheads")
+        result = self._synthetic_result()
+        config = ExperimentConfig.tiny()
+        paths = save_figure_result(
+            spec, result, tmp_path, config=config, git_sha="abc123"
+        )
+        assert paths.json_path.exists() and paths.npz_path.exists()
+
+        stored = load_figure_result(paths.json_path)
+        assert stored.document["schema_version"] == SCHEMA_VERSION
+        assert stored.figure == "overheads"
+        assert stored.metrics == result.metrics
+        for name, array in result.arrays.items():
+            assert np.array_equal(stored.arrays[name], array)
+        provenance = stored.provenance
+        assert provenance["git_sha"] == "abc123"
+        assert provenance["scale"] == "tiny"
+        assert provenance["seed"] == config.seed
+        assert provenance["config"]["n_train"] == config.n_train
+        assert provenance["executor_tasks"] == 3
+        assert provenance["executor_cache_hits"] == 1
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION + 1, "figure": "x"})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_figure_result(path)
+
+    def test_corrupt_array_is_rejected(self, tmp_path):
+        spec = get_figure("overheads")
+        paths = save_figure_result(
+            spec,
+            self._synthetic_result(),
+            tmp_path,
+            config=ExperimentConfig.tiny(),
+            git_sha="abc",
+        )
+        np.savez(
+            paths.npz_path,
+            grid=np.zeros((2, 3)),
+            flags=np.array([True, False]),
+        )
+        with pytest.raises(ValueError, match="digest"):
+            load_figure_result(paths.json_path)
+
+    def test_is_figure_artifact(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"schema_version": 1, "figure": "fig3"}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"results": {}}))
+        assert is_figure_artifact(good)
+        assert not is_figure_artifact(bad)
+        assert not is_figure_artifact(tmp_path / "missing.json")
+
+
+class TestPersistentResultCache:
+    def test_results_survive_a_new_cache_instance(self, tmp_path):
+        path = tmp_path / "cache.json"
+        original = ExperimentResult(
+            attack_label="attack5[vdd=0.8]",
+            accuracy=0.1234567890123,
+            baseline_accuracy=0.76,
+            mean_excitatory_spikes=12.5,
+            fault_descriptions=["theta x0.68"],
+            scale_name="tiny",
+        )
+        cache = PersistentResultCache(path)
+        cache.put("scope::attack5", original)
+
+        reloaded = PersistentResultCache(path)
+        assert reloaded.peek("scope::attack5") == original
+
+    def test_newer_cache_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION + 1, "results": {}})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            PersistentResultCache(path)
+
+    def test_entries_with_drifted_fields_become_cache_misses(self, tmp_path):
+        path = tmp_path / "cache.json"
+        good = {"attack_label": "a", "accuracy": 0.5}
+        drifted = {"attack_label": "b", "accuracy": 0.5, "no_such_field": 1}
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "results": {"k1": good, "k2": drifted},
+                }
+            )
+        )
+        cache = PersistentResultCache(path)
+        assert cache.peek("k1") is not None
+        assert cache.peek("k2") is None
+
+    def test_executor_serves_hits_from_a_reloaded_cache(self, tmp_path):
+        config = ExperimentConfig.tiny()
+        path = tmp_path / "cache.json"
+
+        first = SweepExecutor(
+            _pipeline_for(config), cache=PersistentResultCache(path)
+        )
+        baseline = first.run_baseline()
+        assert first.stats.tasks_executed == 1
+
+        second = SweepExecutor(
+            _pipeline_for(config), cache=PersistentResultCache(path)
+        )
+        resumed = second.run_baseline()
+        assert second.stats.tasks_executed == 0
+        assert second.stats.cache_hits == 1
+        assert resumed == baseline
+
+
+def _pipeline_for(config):
+    from repro.core import ClassificationPipeline
+
+    return ClassificationPipeline(config)
+
+
+class TestCLIRunAndResume:
+    @pytest.fixture()
+    def artifact_dir(self, tmp_path):
+        out = tmp_path / "results"
+        rc = main(
+            ["run", "fig9a", "--scale", "tiny", "--out", str(out), "--quiet"]
+        )
+        assert rc == 0
+        return out
+
+    def test_run_writes_schema_versioned_artifacts(self, artifact_dir):
+        stored = load_figure_result(artifact_dir / "fig9a.json")
+        assert stored.document["schema_version"] == SCHEMA_VERSION
+        assert stored.figure == "fig9a"
+        provenance = stored.provenance
+        assert provenance["scale"] == "tiny"
+        assert provenance["seed"] == ExperimentConfig.tiny().seed
+        assert provenance["git_sha"]
+        assert provenance["versions"]["numpy"] == np.__version__
+        # The first run trains every grid point itself.
+        assert provenance["executor_tasks"] > 0
+        assert (artifact_dir / "fig9a.npz").exists()
+        assert np.array_equal(
+            stored.arrays["vdd_V"], np.array([0.8, 1.0, 1.2])
+        )
+
+    def test_rerun_resumes_from_cache_bit_identically(self, artifact_dir, capsys):
+        first = load_figure_result(artifact_dir / "fig9a.json")
+        rc = main(
+            [
+                "run",
+                "fig9a",
+                "--scale",
+                "tiny",
+                "--out",
+                str(artifact_dir),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        second = load_figure_result(artifact_dir / "fig9a.json")
+        # Resumed entirely from the persistent cache...
+        assert second.provenance["executor_tasks"] == 0
+        assert second.provenance["executor_cache_hits"] > 0
+        # ...with bit-identical numbers.
+        assert second.metrics == first.metrics
+        for name, array in first.arrays.items():
+            assert np.array_equal(second.arrays[name], array)
+
+    def test_report_renders_the_paper_comparison(self, artifact_dir, capsys):
+        assert main(["report", str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out
+        assert "paper" in out
+        assert "0.8493" in out
+
+    def test_report_rejects_directories_without_artifacts(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 1
+        assert "no figure artifacts" in capsys.readouterr().err

@@ -1,11 +1,9 @@
 """Tests for the VDD → network-parameter calibration maps."""
 
-import numpy as np
 import pytest
 
 from repro.neurons.calibration import (
     VddSensitivity,
-    VddToParameterMap,
     behavioural_parameter_map,
     circuit_parameter_map,
 )

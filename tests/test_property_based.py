@@ -74,7 +74,10 @@ def test_driver_amplitude_is_monotone_and_positive(vdd):
     assert driver.amplitude(vdd + 0.01) > driver.amplitude(vdd)
 
 
-@given(vdd=st.floats(min_value=0.8, max_value=1.2), amplitude=st.floats(min_value=1e-7, max_value=4e-7))
+@given(
+    vdd=st.floats(min_value=0.8, max_value=1.2),
+    amplitude=st.floats(min_value=1e-7, max_value=4e-7),
+)
 @settings(max_examples=30, deadline=None)
 def test_time_to_spike_decreases_with_drive_for_both_neurons(vdd, amplitude):
     for model in (AxonHillockModel(), IFAmplifierModel()):
@@ -119,7 +122,10 @@ def test_assignment_and_prediction_invariants(n_examples, n_neurons, n_classes):
 
 
 # -------------------------------------------------------------------- attacks
-@given(fraction=st.floats(min_value=0.0, max_value=1.0), scale=st.floats(min_value=0.5, max_value=1.5))
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    scale=st.floats(min_value=0.5, max_value=1.5),
+)
 @settings(max_examples=25, deadline=None)
 def test_fault_injector_affects_exactly_the_requested_fraction(fraction, scale):
     network = DiehlAndCook2015(DiehlAndCookParameters(n_inputs=9, n_neurons=40), rng=0)
