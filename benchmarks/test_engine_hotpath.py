@@ -1,0 +1,228 @@
+"""Circuit-engine hot-path benchmark: scalar vs compiled vs batched.
+
+The workload is Fig. 8-shaped: a layer of Axon-Hillock neurons under
+threshold attack, simulated as one MNA transient (the single-simulation
+hot path), plus a VDD sweep of neuron variants (the batched sweep path).
+Three engines are measured on identical netlists:
+
+* **scalar** — the reference engine (per-device Python ``stamp()`` calls),
+* **compiled** — split assembly + vectorised device evaluation + LU reuse
+  (:mod:`repro.analog.compiled`),
+* **batched** — B parameter variants advanced in lockstep with stacked
+  ``(B, N, N)`` solves (:mod:`repro.analog.batch`).
+
+Each benchmark's ``extra_info`` records solves/sec (accepted time steps per
+wall-clock second) and the compiled engine's Newton-iteration counters, so
+the nightly ``BENCH_<date>.json`` snapshots carry the perf trajectory of the
+engine itself, not just wall-clock means.  The speedup assertions are set
+well below the typical measurements (~6x compiled on the 20-neuron layer,
+~2x further from batching; see benchmarks/README.md for methodology) to
+stay robust on noisy CI runners.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analog import batched_transient_analysis, transient_analysis
+from repro.analog.compiled import CompiledCircuit
+from repro.analog.mosfet import NMOS_65NM
+from repro.analog.netlist import Circuit
+from repro.circuits import AxonHillockDesign, build_axon_hillock
+from repro.circuits.axon_hillock import default_input_spike_train
+from repro.circuits.inverter import add_inverter
+
+#: Layer width of the Fig. 8-shaped workload (120 MOSFETs at 20 neurons).
+LAYER_NEURONS = 20
+
+#: Transient span: 200 accepted steps per simulation.
+STOP_TIME = "1u"
+TIME_STEP = "5n"
+N_STEPS = 200
+
+#: VDD grid of the batched-sweep benchmark (Figs. 6/8/9a-shaped).
+VDD_GRID = (0.8, 0.9, 1.0, 1.1, 1.2)
+
+#: Speedup floors asserted on this hardware class (measured ~6x and ~1.7x).
+MIN_COMPILED_SPEEDUP = 3.0
+MIN_BATCH_SPEEDUP = 1.2
+
+LAYER_DESIGN = AxonHillockDesign(
+    membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12
+)
+
+
+def build_neuron_layer(n_neurons: int = LAYER_NEURONS, vdd: float = 1.0) -> Circuit:
+    """One flat netlist holding a layer of Axon-Hillock neurons.
+
+    This is the circuit-tier shape of the Fig. 8 attacks: every neuron of a
+    layer shares the (attacked) supply and bias rails but integrates its own
+    input spike train.
+    """
+    design = AxonHillockDesign(
+        membrane_capacitance=LAYER_DESIGN.membrane_capacitance,
+        feedback_capacitance=LAYER_DESIGN.feedback_capacitance,
+        vdd=vdd,
+    )
+    circuit = Circuit("axon_hillock_layer")
+    circuit.add_voltage_source("VDD", "vdd", "0", design.vdd)
+    circuit.add_voltage_source("VPW", "vpw", "0", design.pulse_width_bias)
+    for i in range(n_neurons):
+        prefix = f"n{i}."
+        circuit.add_current_source(
+            prefix + "IIN", "0", prefix + "vmem", default_input_spike_train()
+        )
+        circuit.add_capacitor(
+            prefix + "CMEM", prefix + "vmem", "0", design.membrane_capacitance
+        )
+        circuit.add_capacitor(
+            prefix + "CFB", prefix + "vout", prefix + "vmem",
+            design.feedback_capacitance,
+        )
+        add_inverter(
+            circuit, prefix + "INV1", prefix + "vmem", prefix + "va", "vdd",
+            sizing=design.first_inverter,
+        )
+        add_inverter(
+            circuit, prefix + "INV2", prefix + "va", prefix + "vout", "vdd",
+            sizing=design.second_inverter,
+        )
+        circuit.add_capacitor(prefix + "CA", prefix + "va", "0", "5f")
+        circuit.add_mosfet(
+            prefix + "MN1", prefix + "vmem", prefix + "vout", prefix + "vreset",
+            NMOS_65NM, width=design.reset_width, length=65e-9,
+        )
+        circuit.add_mosfet(
+            prefix + "MN2", prefix + "vreset", "vpw", "0",
+            NMOS_65NM, width=design.reset_width, length=65e-9,
+        )
+    return circuit
+
+
+def _run_layer(engine: str):
+    return transient_analysis(
+        build_neuron_layer(),
+        stop_time=STOP_TIME,
+        time_step=TIME_STEP,
+        use_initial_conditions=True,
+        record_nodes=["n0.vmem", "n0.vout"],
+        engine=engine,
+    )
+
+
+def _timed(fn, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestEngineHotpath:
+    """pytest-benchmark timings feeding the nightly BENCH_*.json snapshots."""
+
+    def test_scalar_layer_transient(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: _run_layer("scalar"), rounds=2, iterations=1
+        )
+        benchmark.extra_info["solves_per_second"] = round(
+            N_STEPS / benchmark.stats.stats.mean, 1
+        )
+        assert len(result) == N_STEPS + 1
+
+    def test_compiled_layer_transient(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: _run_layer("compiled"), rounds=2, iterations=1
+        )
+        benchmark.extra_info["solves_per_second"] = round(
+            N_STEPS / benchmark.stats.stats.mean, 1
+        )
+        # Newton-iteration counters of one representative run.
+        system = CompiledCircuit(build_neuron_layer())
+        from repro.analog.mna import SolverOptions
+        from repro.analog.transient import _advance, initial_condition_vector, time_grid
+
+        solution = initial_condition_vector(system, system.circuit)
+        options = SolverOptions()
+        times = time_grid(1e-6, 5e-9)
+        for step in range(1, len(times)):
+            solution = _advance(
+                system, solution, times[step - 1], times[step], options, depth=0
+            )
+        benchmark.extra_info["newton_assemblies"] = system.stats.assemblies
+        benchmark.extra_info["lu_factorizations"] = system.stats.factorizations
+        benchmark.extra_info["frozen_jacobian_accepts"] = system.stats.frozen_accepts
+        assert len(result) == N_STEPS + 1
+
+    def test_batched_vdd_sweep(self, benchmark):
+        circuits = lambda: [  # noqa: E731 - tiny local factory
+            build_axon_hillock(LAYER_DESIGN.with_vdd(v), input_source=None)
+            for v in VDD_GRID
+        ]
+        results = benchmark.pedantic(
+            lambda: batched_transient_analysis(
+                circuits(),
+                stop_time=STOP_TIME,
+                time_step=TIME_STEP,
+                use_initial_conditions=True,
+                record_nodes=["vmem", "vout"],
+            ),
+            rounds=2,
+            iterations=1,
+        )
+        benchmark.extra_info["solves_per_second"] = round(
+            len(VDD_GRID) * N_STEPS / benchmark.stats.stats.mean, 1
+        )
+        assert len(results) == len(VDD_GRID)
+
+
+class TestEngineSpeedupFloors:
+    """Hard floors behind the benchmark numbers (robust to runner noise)."""
+
+    def test_compiled_beats_scalar_on_mosfet_heavy_layer(self):
+        _run_layer("compiled")  # warm-up (base-matrix/LU compilation paths)
+        scalar_seconds = _timed(lambda: _run_layer("scalar"))
+        compiled_seconds = _timed(lambda: _run_layer("compiled"), repeats=2)
+        speedup = scalar_seconds / compiled_seconds
+        assert speedup >= MIN_COMPILED_SPEEDUP, (
+            f"compiled engine speedup {speedup:.1f}x below the "
+            f"{MIN_COMPILED_SPEEDUP}x floor"
+        )
+        # Parity spot-check on the same workload.
+        scalar = _run_layer("scalar")
+        compiled = _run_layer("compiled")
+        np.testing.assert_allclose(
+            compiled.voltage("n0.vmem"), scalar.voltage("n0.vmem"), atol=1e-5
+        )
+
+    def test_batched_sweep_beats_serial_compiled(self):
+        def sweep_circuits():
+            return [
+                build_axon_hillock(LAYER_DESIGN.with_vdd(v)) for v in VDD_GRID
+            ]
+
+        kwargs = dict(
+            stop_time=STOP_TIME,
+            time_step=TIME_STEP,
+            use_initial_conditions=True,
+            record_nodes=["vmem", "vout"],
+        )
+
+        def run_batched():
+            return batched_transient_analysis(sweep_circuits(), **kwargs)
+
+        def run_serial():
+            return [
+                transient_analysis(circuit, engine="compiled", **kwargs)
+                for circuit in sweep_circuits()
+            ]
+
+        run_batched()  # warm-up
+        serial_seconds = _timed(run_serial)
+        batched_seconds = _timed(run_batched, repeats=2)
+        speedup = serial_seconds / batched_seconds
+        assert speedup >= MIN_BATCH_SPEEDUP, (
+            f"batched sweep speedup {speedup:.1f}x below the "
+            f"{MIN_BATCH_SPEEDUP}x floor"
+        )

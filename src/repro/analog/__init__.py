@@ -10,7 +10,13 @@ This package provides the simulation substrate used by the reproduction:
   approximate a 65 nm low-power CMOS process.
 * :mod:`repro.analog.netlist` — circuit/netlist construction with named nodes
   and hierarchical subcircuits.
-* :mod:`repro.analog.mna` — modified nodal analysis matrix assembly.
+* :mod:`repro.analog.mna` — modified nodal analysis matrix assembly (the
+  scalar reference engine).
+* :mod:`repro.analog.compiled` — the compiled engine: per-topology split
+  linear/nonlinear assembly, vectorised MOSFET/diode/switch evaluation and
+  LU reuse.  Selected automatically (``engine="auto"``) by the analyses.
+* :mod:`repro.analog.batch` — lockstep batched transients/DC sweeps over
+  parameter variants of one topology (stacked ``(B, N, N)`` solves).
 * :mod:`repro.analog.dc` — Newton-Raphson DC operating point and DC sweeps.
 * :mod:`repro.analog.transient` — backward-Euler transient analysis.
 * :mod:`repro.analog.waveform` — waveform post-processing (spike detection,
@@ -37,6 +43,15 @@ from repro.analog.devices import (
 )
 from repro.analog.mosfet import MOSFET, MOSFETParameters, NMOS_65NM, PMOS_65NM
 from repro.analog.netlist import Circuit, SubCircuit
+from repro.analog.compiled import CompiledCircuit, EngineStats, make_system
+from repro.analog.batch import (
+    BatchedCircuit,
+    TopologyMismatchError,
+    batched_dc_sweep,
+    batched_operating_points,
+    batched_transient_analysis,
+    shares_topology,
+)
 from repro.analog.dc import OperatingPoint, dc_operating_point, dc_sweep
 from repro.analog.transient import TransientResult, transient_analysis
 from repro.analog.waveform import Waveform, detect_spikes, threshold_crossings
@@ -59,6 +74,15 @@ __all__ = [
     "PMOS_65NM",
     "Circuit",
     "SubCircuit",
+    "CompiledCircuit",
+    "EngineStats",
+    "make_system",
+    "BatchedCircuit",
+    "TopologyMismatchError",
+    "batched_dc_sweep",
+    "batched_operating_points",
+    "batched_transient_analysis",
+    "shares_topology",
     "OperatingPoint",
     "dc_operating_point",
     "dc_sweep",

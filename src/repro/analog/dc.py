@@ -7,8 +7,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analog.compiled import make_system
 from repro.analog.devices import CurrentSource, VoltageSource
-from repro.analog.mna import MNASystem, SolverOptions, StampState, newton_solve
+from repro.analog.mna import (
+    MNASystem,
+    SolverOptions,
+    StampState,
+    newton_solve,
+    seed_solution_vector,
+)
 from repro.analog.netlist import Circuit
 
 
@@ -39,6 +46,7 @@ def dc_operating_point(
     *,
     initial_guess: Optional[Dict[str, float]] = None,
     options: Optional[SolverOptions] = None,
+    engine: str = "auto",
 ) -> OperatingPoint:
     """Compute the DC operating point of ``circuit``.
 
@@ -51,14 +59,11 @@ def dc_operating_point(
         circuits such as latches and the Axon-Hillock feedback loop).
     options:
         Solver options.
+    engine:
+        Solver backend (see :func:`repro.analog.compiled.make_system`).
     """
-    system = MNASystem(circuit)
-    guess = np.zeros(system.size)
-    if initial_guess:
-        for node, value in initial_guess.items():
-            idx = system.index_of(node)
-            if idx >= 0:
-                guess[idx] = value
+    system = make_system(circuit, engine)
+    guess = seed_solution_vector(system, initial_guess)
     state = StampState(system=system, analysis="dc", time=0.0)
     solution = newton_solve(system, state, guess, options)
     return _solution_to_op(system, solution)
@@ -102,6 +107,7 @@ def dc_sweep(
     values: Sequence[float],
     *,
     options: Optional[SolverOptions] = None,
+    engine: str = "auto",
 ) -> DCSweepResult:
     """Sweep an independent source and record the operating point at each value.
 
@@ -113,7 +119,7 @@ def dc_sweep(
     if not isinstance(device, (VoltageSource, CurrentSource)):
         raise TypeError(f"{source_name!r} is not an independent source")
     original_value = device.value
-    system = MNASystem(circuit)
+    system = make_system(circuit, engine)
     state = StampState(system=system, analysis="dc", time=0.0)
     guess = np.zeros(system.size)
     ops: List[OperatingPoint] = []

@@ -345,6 +345,26 @@ class Diode(Device):
         stamper.stamp_current_injection(cathode, i_eq)
 
 
+def diode_current_and_conductance_array(
+    v: np.ndarray,
+    *,
+    saturation_current: np.ndarray,
+    vt: np.ndarray,
+    v_crit: np.ndarray,
+):
+    """Vectorised :meth:`Diode.current_and_conductance` over arrays of diodes.
+
+    All arguments broadcast.  Returns ``(current, conductance)`` with the
+    same exponential clamp and linear extrapolation as the scalar model.
+    """
+    v_lim = np.minimum(v, v_crit + 10.0 * vt)
+    exp_term = np.exp(v_lim / vt)
+    current = saturation_current * (exp_term - 1.0)
+    conductance = saturation_current * exp_term / vt
+    current = current + np.where(v > v_lim, conductance * (v - v_lim), 0.0)
+    return current, conductance + GMIN
+
+
 class VoltageControlledSwitch(Device):
     """A smooth voltage-controlled switch.
 
@@ -411,3 +431,25 @@ class VoltageControlledSwitch(Device):
         i_eq = -trans * v_ctrl
         stamper.stamp_current_injection(a, -i_eq)
         stamper.stamp_current_injection(b, i_eq)
+
+
+def switch_conductance_array(
+    v_ctrl: np.ndarray,
+    *,
+    threshold: np.ndarray,
+    on_conductance: np.ndarray,
+    off_conductance: np.ndarray,
+    transition_width: np.ndarray,
+):
+    """Vectorised :meth:`VoltageControlledSwitch.conductance_at` over arrays.
+
+    All arguments broadcast.  Returns ``(conductance, dconductance/dv_ctrl)``
+    using the same numerically safe logistic as the scalar model.
+    """
+    x = (v_ctrl - threshold) / transition_width
+    ex = np.exp(-np.abs(x))
+    sig = np.where(x >= 0.0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
+    span = on_conductance - off_conductance
+    g = off_conductance + span * sig
+    dg = span * sig * (1.0 - sig) / transition_width
+    return g, dg

@@ -125,6 +125,44 @@ class MNASystem:
         matrix.flat[self._node_diag_flat] += state.gmin if state.gmin else options.gmin
         return matrix, rhs
 
+    # ----------------------------------------------------------------- solving
+    def solve_assembled(
+        self, matrix: np.ndarray, rhs: np.ndarray, *, iteration: int = 0
+    ) -> np.ndarray:
+        """Solve one assembled linear system.
+
+        The base implementation is a plain dense solve with a least-squares
+        fallback for singular matrices.  :class:`repro.analog.compiled.\
+CompiledCircuit` overrides this with LU caching (linear circuits) and the
+        frozen-Jacobian fast path (``iteration`` tells it whether this is the
+        first solve of a Newton run).
+        """
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.lstsq(matrix, rhs, rcond=None)[0]
+
+
+def seed_solution_vector(
+    system: MNASystem,
+    voltages: Optional[Dict[str, float]],
+    vector: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Write named node voltages into a solution-sized vector.
+
+    Ground aliases are skipped; unknown node names raise ``KeyError`` (same
+    contract as :meth:`MNASystem.index_of`).  Used by every analysis that
+    seeds an initial guess or initial condition from a name→voltage mapping.
+    """
+    if vector is None:
+        vector = np.zeros(system.size)
+    if voltages:
+        for node, value in voltages.items():
+            idx = system.index_of(node)
+            if idx >= 0:
+                vector[idx] = value
+    return vector
+
 
 @dataclass
 class StampState:
@@ -304,10 +342,7 @@ def _newton_iterate(
     for iteration in range(options.max_iterations):
         state.guess = x
         matrix, rhs = system.assemble(state, options)
-        try:
-            x_new = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError:
-            x_new = np.linalg.lstsq(matrix, rhs, rcond=None)[0]
+        x_new = system.solve_assembled(matrix, rhs, iteration=iteration)
         if not nonlinear:
             if stats is not None:
                 stats.iterations = iteration + 1

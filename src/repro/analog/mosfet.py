@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.analog.devices import Device, GMIN
 from repro.analog.units import parse_value, thermal_voltage
 from repro.utils.validation import check_positive
@@ -89,6 +91,62 @@ def _sigmoid(x: float) -> float:
         return 1.0 / (1.0 + math.exp(-x))
     ex = math.exp(x)
     return ex / (1.0 + ex)
+
+
+def softplus_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_softplus` (agrees with the scalar form to ~1e-31)."""
+    return np.where(x > 35.0, x, np.log1p(np.exp(np.minimum(x, 35.0))))
+
+
+def sigmoid_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_sigmoid` (both branches evaluate ``exp(-|x|)``)."""
+    ex = np.exp(-np.abs(x))
+    return np.where(x >= 0.0, 1.0 / (1.0 + ex), ex / (1.0 + ex))
+
+
+def channel_current_array(
+    vd: np.ndarray,
+    vg: np.ndarray,
+    vs: np.ndarray,
+    *,
+    sign: np.ndarray,
+    beta: np.ndarray,
+    vth0: np.ndarray,
+    lambda_: np.ndarray,
+    n_vt: np.ndarray,
+):
+    """Vectorised :meth:`MOSFET.channel_current` over arrays of transistors.
+
+    Every argument broadcasts; ``sign`` is ``+1`` for NMOS and ``-1`` for
+    PMOS (a PMOS is an NMOS with negated terminal voltages and reversed
+    current).  Returns ``(i_ds, di/dvd, di/dvg, di/dvs)`` with the same
+    region selection (triode vs saturation, drain/source swap) as the
+    scalar reference implementation.
+    """
+    vdn, vgn, vsn = sign * vd, sign * vg, sign * vs
+    swap = vdn < vsn
+    lo = np.minimum(vdn, vsn)  # effective source (lower terminal)
+    vgs = vgn - lo
+    vds = np.abs(vdn - vsn)
+    x = (vgs - vth0) / n_vt
+    veff = n_vt * softplus_array(x)
+    dveff = sigmoid_array(x)
+    clm = 1.0 + lambda_ * vds
+    # Branchless region selection: with vm = min(vds, veff) the triode
+    # expressions evaluate to the saturation ones at vm == veff, so the
+    # explicit triode/saturation split of the scalar model collapses to
+    # min/max (identical values in both regions).
+    vm = np.minimum(vds, veff)
+    half = veff - 0.5 * vm
+    ids = beta * half * vm * clm
+    gm = beta * vm * clm * dveff
+    gds = beta * np.maximum(veff - vds, 0.0) * clm + beta * half * vm * lambda_
+    gds = np.maximum(gds, 0.0) + GMIN
+    i_ds = sign * np.where(swap, -ids, ids)
+    di_dvd = np.where(swap, gm + gds, gds)
+    di_dvg = np.where(swap, -gm, gm)
+    di_dvs = np.where(swap, -gds, -(gm + gds))
+    return i_ds, di_dvd, di_dvg, di_dvs
 
 
 class MOSFET(Device):

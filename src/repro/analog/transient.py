@@ -18,11 +18,13 @@ Two execution modes are provided:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.analog.compiled import make_system
 from repro.analog.devices import Capacitor
 from repro.analog.mna import (
     ConvergenceError,
@@ -31,6 +33,7 @@ from repro.analog.mna import (
     SolverOptions,
     StampState,
     newton_solve,
+    seed_solution_vector,
 )
 from repro.analog.netlist import Circuit
 from repro.analog.units import ValueLike, parse_value
@@ -159,6 +162,47 @@ class _TraceRecorder:
         )
 
 
+def time_grid(stop_time: float, time_step: float) -> np.ndarray:
+    """The fixed-step output grid covering ``[0, stop_time]``.
+
+    The step count is *ceiled* so a ``stop_time`` that is not an integer
+    multiple of ``time_step`` is never silently under-simulated (e.g.
+    ``stop_time = 2.4 * dt`` runs three steps, not two); the final step is
+    clamped to land exactly on ``stop_time``.  The small tolerance keeps an
+    exact multiple with float noise (``stop/dt = 2.9999999``) at its
+    intended count.
+    """
+    n_steps = max(1, math.ceil(stop_time / time_step - 1e-6))
+    times = np.minimum(np.arange(n_steps + 1) * time_step, stop_time)
+    times[-1] = stop_time
+    return times
+
+
+def initial_condition_vector(
+    system: MNASystem,
+    circuit: Circuit,
+    initial_voltages: Optional[Dict[str, float]] = None,
+) -> np.ndarray:
+    """Starting solution for ``use_initial_conditions=True`` transients.
+
+    Applies explicit node voltages first, then every capacitor's
+    ``initial_voltage`` (defined as ``v(a) - v(b)``) for capacitors with one
+    grounded terminal — in either orientation, so a capacitor listed
+    ``(gnd, node)`` seeds ``node`` at ``-initial_voltage`` instead of being
+    silently ignored.
+    """
+    initial = seed_solution_vector(system, initial_voltages)
+    for device in circuit.devices:
+        if isinstance(device, Capacitor) and device.initial_voltage is not None:
+            a, b = device.nodes
+            idx_a, idx_b = system.index_of(a), system.index_of(b)
+            if idx_a >= 0 and idx_b < 0:
+                initial[idx_a] = device.initial_voltage
+            elif idx_b >= 0 and idx_a < 0:
+                initial[idx_b] = -device.initial_voltage
+    return initial
+
+
 def transient_analysis(
     circuit: Circuit,
     *,
@@ -170,6 +214,7 @@ def transient_analysis(
     options: Optional[SolverOptions] = None,
     adaptive: bool = False,
     max_step: Optional[ValueLike] = None,
+    engine: str = "auto",
 ) -> TransientResult:
     """Run a backward-Euler transient simulation.
 
@@ -199,42 +244,31 @@ def transient_analysis(
     max_step:
         Adaptive mode only: upper bound on the grown step.  Defaults to
         ``16 * time_step`` (clamped to ``stop_time``).
+    engine:
+        ``"auto"`` (default) compiles the circuit into a
+        :class:`~repro.analog.compiled.CompiledCircuit` when every device
+        type is supported, falling back to the scalar reference engine
+        otherwise; ``"compiled"`` / ``"scalar"`` force one backend.
     """
     stop_time = check_positive(parse_value(stop_time), "stop_time")
     time_step = check_positive(parse_value(time_step), "time_step")
     if time_step > stop_time:
         raise ValueError("time_step must not exceed stop_time")
 
-    system = MNASystem(circuit)
+    system = make_system(circuit, engine)
     options = options or SolverOptions()
 
-    initial = np.zeros(system.size)
     if use_initial_conditions:
-        if initial_voltages:
-            for node, value in initial_voltages.items():
-                idx = system.index_of(node)
-                if idx >= 0:
-                    initial[idx] = value
-        for device in circuit.devices:
-            if isinstance(device, Capacitor) and device.initial_voltage is not None:
-                a, b = device.nodes
-                idx_a, idx_b = system.index_of(a), system.index_of(b)
-                if idx_a >= 0 and idx_b < 0:
-                    initial[idx_a] = device.initial_voltage
+        initial = initial_condition_vector(system, circuit, initial_voltages)
     else:
-        guess = np.zeros(system.size)
-        if initial_voltages:
-            for node, value in initial_voltages.items():
-                idx = system.index_of(node)
-                if idx >= 0:
-                    guess[idx] = value
+        guess = seed_solution_vector(system, initial_voltages)
         dc_state = StampState(system=system, analysis="dc", time=0.0)
         initial = newton_solve(system, dc_state, guess, options)
 
-    n_steps = int(round(stop_time / time_step))
+    times = time_grid(stop_time, time_step)
     recorded = list(record_nodes) if record_nodes is not None else system.node_names
     branch_devices = [d for d in circuit.devices if d.n_branches]
-    recorder = _TraceRecorder(system, recorded, branch_devices, n_steps + 1)
+    recorder = _TraceRecorder(system, recorded, branch_devices, len(times))
 
     recorder.append(0.0, initial)
     if adaptive:
@@ -248,9 +282,8 @@ def transient_analysis(
             options=options,
         )
     else:
-        times = np.linspace(0.0, n_steps * time_step, n_steps + 1)
         solution = initial
-        for step in range(1, n_steps + 1):
+        for step in range(1, len(times)):
             solution = _advance(
                 system, solution, times[step - 1], times[step], options, depth=0
             )
@@ -354,8 +387,23 @@ def _advance(
         previous=solution,
     )
     stats = NewtonStats() if diagnostics is not None else None
+    # Compiled systems can offer a frozen-Jacobian first iterate (LU reuse
+    # from the previous step) as a better Newton starting point; the solve
+    # below always runs genuine Newton from it, so a poor prediction only
+    # costs iterations, never correctness.  It is skipped whenever step
+    # diagnostics are collected (adaptive mode): the controller sizes steps
+    # from Newton-iteration counts, and a predictor-shortened count could
+    # steer it onto a different accepted-step grid than the scalar engine.
+    guess = solution
+    predict = (
+        getattr(system, "predict_step", None) if diagnostics is None else None
+    )
+    if predict is not None:
+        predicted = predict(state, solution, options)
+        if predicted is not None:
+            guess = predicted
     try:
-        result = newton_solve(system, state, solution, options, stats=stats)
+        result = newton_solve(system, state, guess, options, stats=stats)
         if diagnostics is not None:
             diagnostics.newton_iterations = max(
                 diagnostics.newton_iterations, stats.iterations

@@ -37,6 +37,7 @@ from repro.circuits.axon_hillock import (
     build_axon_hillock,
     default_input_spike_train,
     simulate_axon_hillock,
+    simulate_axon_hillock_sweep,
 )
 from repro.circuits.if_neuron import (
     IFNeuronDesign,
@@ -78,6 +79,7 @@ __all__ = [
     "build_axon_hillock",
     "default_input_spike_train",
     "simulate_axon_hillock",
+    "simulate_axon_hillock_sweep",
     "IFNeuronDesign",
     "build_if_neuron",
     "simulate_if_neuron",

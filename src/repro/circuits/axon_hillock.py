@@ -172,13 +172,16 @@ def simulate_axon_hillock(
     stop_time: ValueLike = "2u",
     time_step: ValueLike = "2n",
     adaptive: bool = False,
+    engine: str = "auto",
 ):
     """Transient simulation of the Axon-Hillock neuron (paper Fig. 3).
 
     Returns the :class:`~repro.analog.transient.TransientResult`; the
     membrane is node ``vmem`` and the output is node ``vout``.  Pass
     ``adaptive=True`` for the adaptive-step engine (several times fewer
-    solves on long waveforms, at the cost of a non-uniform time grid).
+    solves on long waveforms, at the cost of a non-uniform time grid) and
+    ``engine="scalar"``/``"compiled"`` to force a solver backend (the
+    default compiles the netlist, see :mod:`repro.analog.compiled`).
     """
     circuit = build_axon_hillock(design, input_source=input_source)
     return transient_analysis(
@@ -188,4 +191,34 @@ def simulate_axon_hillock(
         use_initial_conditions=True,
         record_nodes=["vmem", "va", "vout", "vreset"],
         adaptive=adaptive,
+        engine=engine,
+    )
+
+
+def simulate_axon_hillock_sweep(
+    designs,
+    *,
+    input_source=None,
+    stop_time: ValueLike = "2u",
+    time_step: ValueLike = "2n",
+):
+    """Lockstep transient simulation of several Axon-Hillock design variants.
+
+    All designs share the neuron topology (they differ only in VDD, bias or
+    sizing values), so the whole sweep advances through the batched engine
+    (:func:`repro.analog.batch.batched_transient_analysis`) with stacked
+    matrices — one simulation pass for the whole grid.  Returns one
+    :class:`~repro.analog.transient.TransientResult` per design, in order.
+    """
+    from repro.analog import batched_transient_analysis
+
+    circuits = [
+        build_axon_hillock(design, input_source=input_source) for design in designs
+    ]
+    return batched_transient_analysis(
+        circuits,
+        stop_time=stop_time,
+        time_step=time_step,
+        use_initial_conditions=True,
+        record_nodes=["vmem", "va", "vout", "vreset"],
     )

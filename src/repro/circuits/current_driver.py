@@ -134,11 +134,26 @@ def amplitude_vs_vdd(
     *,
     design: Optional[CurrentDriverDesign] = None,
     load_voltage: float = 0.2,
+    batch: bool = True,
 ) -> np.ndarray:
-    """Output amplitude for each supply voltage (paper Fig. 5b)."""
-    return np.array(
-        [output_current(v, design=design, load_voltage=load_voltage) for v in vdd_values]
-    )
+    """Output amplitude for each supply voltage (paper Fig. 5b).
+
+    All supply points share the driver topology, so the grid is routed
+    through :class:`repro.exec.circuits.CircuitSweepDispatcher`: one
+    lockstep batched DC solve instead of one operating point per supply.
+    ``batch=False`` forces the serial per-point reference path.
+    """
+    from repro.exec.circuits import CircuitSweepDispatcher
+
+    values = [parse_value(v) for v in vdd_values]
+    circuits = [
+        build_current_driver(
+            v, design=design, load_voltage=load_voltage, ctrl_source=v
+        )
+        for v in values
+    ]
+    ops = CircuitSweepDispatcher(batch=batch).run_operating_points(circuits)
+    return np.array([abs(op.current("VLOAD")) for op in ops])
 
 
 def spike_train_response(

@@ -231,8 +231,13 @@ def simulate_if_neuron(
     external_threshold: Optional[float] = None,
     stop_time: ValueLike = "40u",
     time_step: ValueLike = "10n",
+    engine: str = "auto",
 ):
-    """Transient simulation of the I&F neuron (paper Fig. 4)."""
+    """Transient simulation of the I&F neuron (paper Fig. 4).
+
+    ``engine`` selects the solver backend (compiled by default, see
+    :mod:`repro.analog.compiled`).
+    """
     circuit = build_if_neuron(
         design, input_source=input_source, external_threshold=external_threshold
     )
@@ -242,4 +247,5 @@ def simulate_if_neuron(
         time_step=time_step,
         use_initial_conditions=True,
         record_nodes=["vmem", "vthr", "vcmp", "y1", "y2", "vk"],
+        engine=engine,
     )

@@ -136,7 +136,11 @@ def switching_threshold(
     )
     vin = np.linspace(0.0, vdd, points)
     sweep = dc_sweep(circuit, "VIN", vin)
-    vout = sweep.voltage("out")
+    return _threshold_from_transfer(vin, sweep.voltage("out"), vdd)
+
+
+def _threshold_from_transfer(vin: np.ndarray, vout: np.ndarray, vdd: float) -> float:
+    """Interpolate the ``vout == vin`` crossing of one transfer curve."""
     diff = vout - vin
     sign_change = np.nonzero(np.diff(np.sign(diff)) < 0)[0]
     if len(sign_change) == 0:
@@ -156,13 +160,32 @@ def threshold_vs_vdd(
     sizing: Optional[InverterSizing] = None,
     nmos_params: MOSFETParameters = NMOS_65NM,
     pmos_params: MOSFETParameters = PMOS_65NM,
+    points: int = 81,
+    batch: bool = True,
 ) -> np.ndarray:
-    """Switching threshold for each VDD in ``vdd_values`` (paper Fig. 6a)."""
+    """Switching threshold for each VDD in ``vdd_values`` (paper Fig. 6a).
+
+    Every supply voltage is an identical inverter topology with different
+    parameter values, so the grid is routed through
+    :class:`repro.exec.circuits.CircuitSweepDispatcher`: one stacked
+    lockstep DC sweep of all VDD variants instead of one sweep per point.
+    ``batch=False`` forces the serial reference path.
+    """
+    from repro.exec.circuits import CircuitSweepDispatcher
+
+    vdds = [parse_value(v) for v in vdd_values]
+    circuits = [
+        build_inverter(v, sizing=sizing, nmos_params=nmos_params, pmos_params=pmos_params)
+        for v in vdds
+    ]
+    # Each variant ramps VIN over its own [0, VDD] grid, in lockstep.
+    vin_grid = np.stack([np.linspace(0.0, v, points) for v in vdds])
+    sweeps = CircuitSweepDispatcher(batch=batch).run_dc_sweep(
+        circuits, "VIN", vin_grid
+    )
     return np.array(
         [
-            switching_threshold(
-                v, sizing=sizing, nmos_params=nmos_params, pmos_params=pmos_params
-            )
-            for v in vdd_values
+            _threshold_from_transfer(vin_grid[i], sweep.voltage("out"), vdds[i])
+            for i, sweep in enumerate(sweeps)
         ]
     )

@@ -126,8 +126,23 @@ def amplitude_vs_vdd(
     *,
     design: Optional[RobustDriverDesign] = None,
     load_voltage: float = 0.2,
+    batch: bool = True,
 ) -> np.ndarray:
-    """Output amplitude for each supply voltage (flat, unlike Fig. 5b)."""
-    return np.array(
-        [output_current(v, design=design, load_voltage=load_voltage) for v in vdd_values]
+    """Output amplitude for each supply voltage (flat, unlike Fig. 5b).
+
+    Routed through :class:`repro.exec.circuits.CircuitSweepDispatcher`: one
+    lockstep batched DC solve across the VDD grid (all points share the
+    regulated-driver topology); ``batch=False`` forces the serial path.
+    """
+    from repro.exec.circuits import CircuitSweepDispatcher
+
+    values = [parse_value(v) for v in vdd_values]
+    reference = (design or RobustDriverDesign()).reference_voltage
+    circuits = [
+        build_robust_driver(v, design=design, load_voltage=load_voltage)
+        for v in values
+    ]
+    ops = CircuitSweepDispatcher(batch=batch).run_operating_points(
+        circuits, initial_guesses=[{"vset": reference}] * len(circuits)
     )
+    return np.array([abs(op.current("VLOAD")) for op in ops])

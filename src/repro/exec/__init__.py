@@ -12,6 +12,10 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   campaign instead of once per sweep.
 * :class:`~repro.exec.executor.ExecutionStats` — wall-clock and per-task
   timing, rendered through :func:`repro.core.reporting.format_execution_report`.
+* :class:`~repro.exec.circuits.CircuitSweepDispatcher` — the circuit-tier
+  counterpart: sweeps whose points are parameter variants of one topology
+  (threshold/VDD grids) advance in lockstep through the batched engine of
+  :mod:`repro.analog.batch` instead of one simulation per point.
 
 Parallel execution is bit-identical to serial execution: every pipeline run
 derives its random streams from ``(config.seed, attack label)`` alone, never
@@ -20,6 +24,7 @@ which task or in what order.
 """
 
 from repro.exec.cache import ResultCache, attack_cache_key
+from repro.exec.circuits import CircuitSweepDispatcher
 from repro.exec.executor import (
     ExecutionStats,
     PipelineFromConfig,
@@ -29,6 +34,7 @@ from repro.exec.executor import (
 )
 
 __all__ = [
+    "CircuitSweepDispatcher",
     "ResultCache",
     "attack_cache_key",
     "ExecutionStats",

@@ -1,0 +1,160 @@
+"""Topology-aware dispatch of circuit-tier sweeps onto the batched engine.
+
+The pipeline tier fans independent SNN training runs out over processes
+(:class:`~repro.exec.executor.SweepExecutor`); the circuit tier has a much
+cheaper trick available: a sweep whose points are *parameter variants of one
+topology* (a VDD grid over one inverter, a sizing grid over one neuron) can
+advance every point in lockstep through the batched engine of
+:mod:`repro.analog.batch` — stacked ``(B, N, N)`` matrices, one vectorised
+device evaluation for all points, one batched solve per Newton iteration.
+
+:class:`CircuitSweepDispatcher` decides the route: batched when every
+circuit shares the reference topology and consists of compiled device
+types, per-circuit serial otherwise.  The figure runners and the circuit
+helpers (``threshold_vs_vdd``, ``amplitude_vs_vdd``, ...) use this to make
+the threshold/VDD sweeps of Figs. 5, 6 and the attack-calibration maps one
+simulation pass each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.batch import (
+    TopologyMismatchError,
+    batched_dc_sweep,
+    batched_operating_points,
+    batched_transient_analysis,
+    shares_topology,
+)
+from repro.analog.dc import DCSweepResult, OperatingPoint, dc_operating_point, dc_sweep
+from repro.analog.netlist import Circuit
+from repro.analog.transient import TransientResult, transient_analysis
+
+
+@dataclass
+class CircuitSweepDispatcher:
+    """Routes a list of circuits to the batched or the serial engine.
+
+    Parameters
+    ----------
+    batch:
+        ``True`` (default) batches whenever the circuits share a topology;
+        ``False`` always runs the serial per-circuit path (reference
+        behaviour, useful for parity debugging).
+
+    The ``batched_sweeps`` / ``serial_sweeps`` counters record which route
+    each sweep actually took.
+    """
+
+    batch: bool = True
+    batched_sweeps: int = 0
+    serial_sweeps: int = 0
+    _last_route: str = field(default="", repr=False)
+
+    def _use_batch(self, circuits: Sequence[Circuit]) -> bool:
+        route_batched = (
+            self.batch and len(circuits) > 1 and shares_topology(circuits)
+        )
+        if route_batched:
+            self.batched_sweeps += 1
+            self._last_route = "batched"
+        else:
+            self.serial_sweeps += 1
+            self._last_route = "serial"
+        return route_batched
+
+    # --------------------------------------------------------------- transient
+    def run_transients(
+        self,
+        circuits: Sequence[Circuit],
+        *,
+        stop_time,
+        time_step,
+        initial_voltages: Optional[Dict[str, float]] = None,
+        use_initial_conditions: bool = False,
+        record_nodes: Optional[Sequence[str]] = None,
+        options=None,
+    ) -> List[TransientResult]:
+        """Fixed-step transients of every circuit, batched when possible."""
+        if self._use_batch(circuits):
+            try:
+                return batched_transient_analysis(
+                    circuits,
+                    stop_time=stop_time,
+                    time_step=time_step,
+                    initial_voltages=initial_voltages,
+                    use_initial_conditions=use_initial_conditions,
+                    record_nodes=record_nodes,
+                    options=options,
+                )
+            except TopologyMismatchError:  # pragma: no cover - racy rebuild
+                self._last_route = "serial"
+        return [
+            transient_analysis(
+                circuit,
+                stop_time=stop_time,
+                time_step=time_step,
+                initial_voltages=initial_voltages,
+                use_initial_conditions=use_initial_conditions,
+                record_nodes=record_nodes,
+                options=options,
+            )
+            for circuit in circuits
+        ]
+
+    # ---------------------------------------------------------------------- dc
+    def run_dc_sweep(
+        self,
+        circuits: Sequence[Circuit],
+        source_name: str,
+        values,
+        *,
+        options=None,
+    ) -> List[DCSweepResult]:
+        """Sweep one named source across every circuit, batched when possible.
+
+        ``values`` is a shared ``(n_points,)`` grid or one row per circuit
+        (``(B, n_points)``, e.g. VIN ramps scaled to each variant's VDD).
+        """
+        grid = np.asarray(values, dtype=float)
+        if grid.ndim == 1:
+            grid = np.broadcast_to(grid, (len(circuits), len(grid)))
+        elif grid.ndim != 2 or grid.shape[0] != len(circuits):
+            raise ValueError(
+                "values must be (n_points,) or (n_circuits, n_points); got "
+                f"shape {grid.shape} for {len(circuits)} circuits"
+            )
+        if self._use_batch(circuits):
+            try:
+                return batched_dc_sweep(circuits, source_name, grid, options=options)
+            except TopologyMismatchError:  # pragma: no cover - racy rebuild
+                self._last_route = "serial"
+        return [
+            dc_sweep(circuit, source_name, grid[i], options=options)
+            for i, circuit in enumerate(circuits)
+        ]
+
+    def run_operating_points(
+        self,
+        circuits: Sequence[Circuit],
+        *,
+        initial_guesses: Optional[Sequence[Dict[str, float]]] = None,
+        options=None,
+    ) -> List[OperatingPoint]:
+        """DC operating points of every circuit, batched when possible."""
+        if self._use_batch(circuits):
+            try:
+                return batched_operating_points(
+                    circuits, initial_guesses=initial_guesses, options=options
+                )
+            except TopologyMismatchError:  # pragma: no cover - racy rebuild
+                self._last_route = "serial"
+        guesses = initial_guesses or [None] * len(circuits)
+        return [
+            dc_operating_point(circuit, initial_guess=guess, options=options)
+            for circuit, guess in zip(circuits, guesses)
+        ]

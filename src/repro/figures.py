@@ -13,8 +13,12 @@ train-and-evaluate runs out through a shared
 :class:`~repro.exec.executor.SweepExecutor`, so they parallelise with
 ``workers >= 2`` and hit the content-keyed result cache — re-running a
 figure against a warm (or persistent, see :mod:`repro.store`) cache is
-resumable and bit-identical.  Circuit-tier figures run the MNA netlists and
-behavioural models directly.
+resumable and bit-identical.  Circuit-tier figures run the MNA netlists
+through the compiled engine (:mod:`repro.analog.compiled`), and their
+threshold/VDD grids (Figs. 5b, 6a and the VDD→parameter calibration behind
+Figs. 7b-9a) are parameter variants of one topology, so they advance in
+lockstep through the batched engine (:mod:`repro.analog.batch`) — one
+stacked simulation pass per grid instead of one run per point.
 """
 
 from __future__ import annotations

@@ -166,27 +166,25 @@ def circuit_parameter_map(
 
     This is the slow, ground-truth calibration path; it sweeps the actual
     inverter and current-driver circuits.  The I&F threshold follows the
-    resistive divider exactly, as in the paper.
+    resistive divider exactly, as in the paper.  Both circuit sweeps run the
+    whole VDD grid through the lockstep batched engine (every point is a
+    parameter variant of one topology).
     """
-    from repro.circuits.current_driver import output_current
-    from repro.circuits.inverter import switching_threshold
+    from repro.circuits.current_driver import amplitude_vs_vdd
+    from repro.circuits.inverter import threshold_vs_vdd
 
     check_positive(nominal_vdd, "nominal_vdd")
     vdd_values = np.asarray(sorted(vdd_values), dtype=float)
     amplitude = VddSensitivity(
         name="driver_amplitude",
         vdd_values=vdd_values,
-        values=np.array(
-            [output_current(v, design=driver_design) for v in vdd_values]
-        ),
+        values=amplitude_vs_vdd(vdd_values, design=driver_design),
         nominal_vdd=nominal_vdd,
     )
     ah_threshold = VddSensitivity(
         name="axon_hillock_threshold",
         vdd_values=vdd_values,
-        values=np.array(
-            [switching_threshold(v, sizing=inverter_sizing) for v in vdd_values]
-        ),
+        values=threshold_vs_vdd(vdd_values, sizing=inverter_sizing),
         nominal_vdd=nominal_vdd,
     )
     if_threshold = VddSensitivity(

@@ -1,0 +1,447 @@
+"""Parity suite pinning the compiled/batched engines to the scalar reference.
+
+Every registered neuron/defense circuit runs through both engines
+(fixed-step and adaptive, batched and unbatched) and the traces must agree
+within solver tolerance, with identical spike/threshold metrics.  The suite
+also covers the engine-internal machinery (LU caching, frozen-Jacobian
+predictor, scalar fallback for unknown device types) and the transient
+satellite fixes (step-count ceiling, capacitor initial-condition
+orientation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    Circuit,
+    batched_dc_sweep,
+    batched_operating_points,
+    batched_transient_analysis,
+    dc_operating_point,
+    dc_sweep,
+    make_system,
+    shares_topology,
+    transient_analysis,
+)
+from repro.analog.batch import BatchedCircuit, TopologyMismatchError
+from repro.analog.compiled import HAVE_SCIPY, CompiledCircuit
+from repro.analog.devices import Resistor
+from repro.analog.mna import MNASystem
+from repro.analog.transient import time_grid
+from repro.circuits import (
+    AxonHillockDesign,
+    IFNeuronDesign,
+    build_axon_hillock,
+    build_comparator,
+    build_current_driver,
+    build_if_neuron,
+    build_inverter,
+    build_robust_driver,
+    simulate_axon_hillock_sweep,
+)
+from repro.exec import CircuitSweepDispatcher
+
+#: Voltage agreement between engines; both solve to SolverOptions tolerances
+#: (1e-6), so traces may differ by a few of those per step.
+TRACE_ATOL = 1e-5
+
+FAST_AH_DESIGN = AxonHillockDesign(
+    membrane_capacitance=0.1e-12, feedback_capacitance=0.1e-12
+)
+
+
+def _transient_pair(circuit_builder, **kwargs):
+    scalar = transient_analysis(circuit_builder(), engine="scalar", **kwargs)
+    compiled = transient_analysis(circuit_builder(), engine="compiled", **kwargs)
+    return scalar, compiled
+
+
+def _assert_traces_match(scalar, compiled, nodes):
+    np.testing.assert_allclose(compiled.time, scalar.time, rtol=0, atol=0)
+    for node in nodes:
+        np.testing.assert_allclose(
+            compiled.voltage(node),
+            scalar.voltage(node),
+            atol=TRACE_ATOL,
+            err_msg=f"node {node}",
+        )
+
+
+class TestTransientParity:
+    def test_axon_hillock_fixed_step(self):
+        kwargs = dict(
+            stop_time="2u", time_step="5n", use_initial_conditions=True
+        )
+        scalar, compiled = _transient_pair(
+            lambda: build_axon_hillock(FAST_AH_DESIGN), **kwargs
+        )
+        _assert_traces_match(scalar, compiled, ["vmem", "va", "vout", "vreset"])
+        # Identical spike metrics, not just close traces.
+        spikes_scalar = scalar.waveform("vout").detect_spikes(
+            0.5, min_separation=200e-9
+        )
+        spikes_compiled = compiled.waveform("vout").detect_spikes(
+            0.5, min_separation=200e-9
+        )
+        assert len(spikes_scalar) >= 1
+        assert len(spikes_scalar) == len(spikes_compiled)
+        np.testing.assert_allclose(spikes_compiled, spikes_scalar, atol=5e-9)
+
+    def test_axon_hillock_adaptive(self):
+        kwargs = dict(
+            stop_time="2u",
+            time_step="5n",
+            use_initial_conditions=True,
+            adaptive=True,
+        )
+        scalar, compiled = _transient_pair(
+            lambda: build_axon_hillock(FAST_AH_DESIGN), **kwargs
+        )
+        # Adaptive grids are controller-driven; both engines must accept the
+        # same steps (iteration counts match) and agree on the waveform.
+        np.testing.assert_allclose(compiled.time, scalar.time, rtol=1e-12)
+        _assert_traces_match(scalar, compiled, ["vmem", "vout"])
+
+    def test_if_neuron(self):
+        kwargs = dict(
+            stop_time="4u", time_step="10n", use_initial_conditions=True
+        )
+        scalar, compiled = _transient_pair(lambda: build_if_neuron(), **kwargs)
+        _assert_traces_match(scalar, compiled, ["vmem", "vthr", "vcmp", "vk"])
+
+    def test_current_driver_transient(self):
+        kwargs = dict(stop_time="100n", time_step="0.5n")
+        scalar, compiled = _transient_pair(
+            lambda: build_current_driver(1.0), **kwargs
+        )
+        _assert_traces_match(scalar, compiled, ["nref", "nsw"])
+        np.testing.assert_allclose(
+            compiled.current("VLOAD"), scalar.current("VLOAD"), atol=1e-9
+        )
+
+    def test_rl_circuit_inductor_companion(self):
+        def build():
+            circuit = Circuit("rl")
+            circuit.add_voltage_source("V1", "in", "0", 1.0)
+            circuit.add_resistor("R1", "in", "out", "1k")
+            circuit.add_inductor("L1", "out", "0", "1m")
+            return circuit
+
+        kwargs = dict(stop_time="10u", time_step="100n")
+        scalar, compiled = _transient_pair(build, **kwargs)
+        _assert_traces_match(scalar, compiled, ["out"])
+        np.testing.assert_allclose(
+            compiled.current("L1"), scalar.current("L1"), atol=1e-9
+        )
+
+
+class TestDCParity:
+    @pytest.mark.parametrize("vdd", [0.8, 1.0, 1.2])
+    def test_inverter_transfer_curve(self, vdd):
+        vin = np.linspace(0.0, vdd, 41)
+        scalar = dc_sweep(build_inverter(vdd), "VIN", vin, engine="scalar")
+        compiled = dc_sweep(build_inverter(vdd), "VIN", vin, engine="compiled")
+        np.testing.assert_allclose(
+            compiled.voltage("out"), scalar.voltage("out"), atol=TRACE_ATOL
+        )
+
+    def test_comparator_sweep(self):
+        vin = np.linspace(0.2, 0.8, 31)
+        scalar = dc_sweep(build_comparator(), "VIN", vin, engine="scalar")
+        compiled = dc_sweep(build_comparator(), "VIN", vin, engine="compiled")
+        np.testing.assert_allclose(
+            compiled.voltage("vout"), scalar.voltage("vout"), atol=TRACE_ATOL
+        )
+
+    def test_robust_driver_operating_point(self):
+        guess = {"vset": 0.52}
+        scalar = dc_operating_point(
+            build_robust_driver(1.0), initial_guess=guess, engine="scalar"
+        )
+        compiled = dc_operating_point(
+            build_robust_driver(1.0), initial_guess=guess, engine="compiled"
+        )
+        assert compiled.current("VLOAD") == pytest.approx(
+            scalar.current("VLOAD"), abs=1e-10
+        )
+
+    def test_diode_clamp(self):
+        def build():
+            circuit = Circuit("diode_clamp")
+            circuit.add_voltage_source("V1", "in", "0", 1.0)
+            circuit.add_resistor("R1", "in", "out", "10k")
+            circuit.add_diode("D1", "out", "0")
+            return circuit
+
+        values = np.linspace(0.0, 2.0, 21)
+        scalar = dc_sweep(build(), "V1", values, engine="scalar")
+        compiled = dc_sweep(build(), "V1", values, engine="compiled")
+        np.testing.assert_allclose(
+            compiled.voltage("out"), scalar.voltage("out"), atol=TRACE_ATOL
+        )
+
+    def test_switch_transition(self):
+        def build():
+            circuit = Circuit("switched_divider")
+            circuit.add_voltage_source("VC", "ctrl", "0", 0.0)
+            circuit.add_voltage_source("V1", "top", "0", 1.0)
+            circuit.add_resistor("R1", "top", "out", "10k")
+            circuit.add_switch("S1", "out", "0", "ctrl", "0", threshold=0.5)
+            return circuit
+
+        values = np.linspace(0.0, 1.0, 21)
+        scalar = dc_sweep(build(), "VC", values, engine="scalar")
+        compiled = dc_sweep(build(), "VC", values, engine="compiled")
+        np.testing.assert_allclose(
+            compiled.voltage("out"), scalar.voltage("out"), atol=TRACE_ATOL
+        )
+
+
+class TestBatchedParity:
+    VDD_GRID = (0.8, 0.9, 1.0, 1.1, 1.2)
+
+    def test_axon_hillock_vdd_sweep(self):
+        designs = [FAST_AH_DESIGN.with_vdd(v) for v in self.VDD_GRID]
+        batched = simulate_axon_hillock_sweep(
+            designs, stop_time="2u", time_step="5n"
+        )
+        for design, result in zip(designs, batched):
+            scalar = transient_analysis(
+                build_axon_hillock(design),
+                stop_time="2u",
+                time_step="5n",
+                use_initial_conditions=True,
+                engine="scalar",
+            )
+            _assert_traces_match(scalar, result, ["vmem", "vout"])
+            assert len(
+                scalar.waveform("vout").detect_spikes(0.5, min_separation=200e-9)
+            ) == len(
+                result.waveform("vout").detect_spikes(0.5, min_separation=200e-9)
+            )
+
+    def test_if_neuron_vdd_sweep(self):
+        designs = [IFNeuronDesign().with_vdd(v) for v in (0.8, 1.0, 1.2)]
+        circuits = [build_if_neuron(d) for d in designs]
+        batched = batched_transient_analysis(
+            circuits, stop_time="2u", time_step="10n", use_initial_conditions=True
+        )
+        for design, result in zip(designs, batched):
+            scalar = transient_analysis(
+                build_if_neuron(design),
+                stop_time="2u",
+                time_step="10n",
+                use_initial_conditions=True,
+                engine="scalar",
+            )
+            _assert_traces_match(scalar, result, ["vmem", "vthr", "vk"])
+
+    def test_batched_dc_sweep_matches_serial(self):
+        circuits = [build_inverter(v) for v in self.VDD_GRID]
+        vin = np.stack([np.linspace(0.0, v, 31) for v in self.VDD_GRID])
+        batched = batched_dc_sweep(circuits, "VIN", vin)
+        for i, vdd in enumerate(self.VDD_GRID):
+            serial = dc_sweep(
+                build_inverter(vdd), "VIN", vin[i], engine="scalar"
+            )
+            np.testing.assert_allclose(
+                batched[i].voltage("out"), serial.voltage("out"), atol=TRACE_ATOL
+            )
+
+    def test_batched_operating_points_match_serial(self):
+        circuits = [
+            build_current_driver(v, ctrl_source=v) for v in self.VDD_GRID
+        ]
+        ops = batched_operating_points(circuits)
+        for vdd, op in zip(self.VDD_GRID, ops):
+            serial = dc_operating_point(
+                build_current_driver(vdd, ctrl_source=vdd), engine="scalar"
+            )
+            assert op.current("VLOAD") == pytest.approx(
+                serial.current("VLOAD"), abs=1e-12
+            )
+
+    def test_topology_mismatch_is_rejected(self):
+        mismatched = [build_inverter(1.0), build_current_driver(1.0)]
+        assert not shares_topology(mismatched)
+        with pytest.raises(TopologyMismatchError):
+            BatchedCircuit(mismatched)
+
+    def test_source_values_restored_after_batched_sweep(self):
+        circuits = [build_inverter(v) for v in (0.9, 1.1)]
+        originals = [c["VIN"].value for c in circuits]
+        batched_dc_sweep(circuits, "VIN", np.linspace(0.0, 0.9, 5))
+        assert [c["VIN"].value for c in circuits] == originals
+
+
+class TestEngineInternals:
+    def rc_circuit(self):
+        circuit = Circuit("rc")
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", "1k")
+        circuit.add_capacitor("C1", "out", "0", "1u", initial_voltage=0.0)
+        return circuit
+
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="LU reuse needs scipy")
+    def test_linear_lu_cache_factorises_once(self):
+        circuit = self.rc_circuit()
+        system = CompiledCircuit(circuit)
+        from repro.analog.mna import SolverOptions
+        from repro.analog.transient import _advance, initial_condition_vector
+
+        solution = initial_condition_vector(system, circuit)
+        options = SolverOptions()
+        for step in range(1, 21):
+            solution = _advance(
+                system, solution, (step - 1) * 1e-4, step * 1e-4, options, depth=0
+            )
+        assert system.stats.factorizations == 1
+        assert system.stats.lu_reuses == 19
+
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="LU reuse needs scipy")
+    def test_frozen_jacobian_predictor_engages_on_spiking_workload(self):
+        from repro.analog.mna import SolverOptions
+        from repro.analog.transient import (
+            _advance,
+            initial_condition_vector,
+            time_grid,
+        )
+
+        circuit = build_axon_hillock(FAST_AH_DESIGN)
+        system = CompiledCircuit(circuit)
+        solution = initial_condition_vector(system, circuit)
+        options = SolverOptions()
+        times = time_grid(2e-6, 5e-9)
+        for step in range(1, len(times)):
+            solution = _advance(
+                system, solution, times[step - 1], times[step], options, depth=0
+            )
+        stats = system.stats
+        n_steps = len(times) - 1
+        # Every step costs at least one assembly; each predictor attempt
+        # adds exactly one more, so the attempts are bounded by the steps.
+        assert stats.assemblies >= n_steps
+        attempts = stats.frozen_accepts + stats.frozen_rejects
+        assert attempts <= n_steps
+        # The regenerative firing edges of this workload are hard steps, so
+        # the predictor must actually engage (and its accounting must not
+        # exceed the assemblies that back it).
+        assert attempts >= 1
+        assert stats.factorizations <= stats.assemblies
+        # The workload is nonlinear: no cached-linear-LU solves may appear.
+        assert stats.lu_reuses == 0
+
+    def test_auto_engine_selects_compiled_for_known_devices(self):
+        assert isinstance(make_system(self.rc_circuit(), "auto"), CompiledCircuit)
+        assert isinstance(make_system(self.rc_circuit(), "scalar"), MNASystem)
+        with pytest.raises(ValueError):
+            make_system(self.rc_circuit(), "warp-drive")
+
+    def test_unknown_device_type_uses_scalar_fallback(self):
+        class DoubledResistor(Resistor):
+            """A subclass with its own stamp: must not be compiled as linear."""
+
+            def stamp(self, stamper, state):
+                a, b = self.nodes
+                stamper.stamp_conductance(a, b, 2.0 * self.conductance)
+
+        def build():
+            circuit = Circuit("custom")
+            circuit.add_voltage_source("V1", "in", "0", 1.0)
+            circuit.add(DoubledResistor("RX", "in", "out", "1k"))
+            circuit.add_resistor("R2", "out", "0", "1k")
+            return circuit
+
+        # Auto mode routes unknown exact types to the scalar engine...
+        assert not CompiledCircuit.supports(build())
+        assert isinstance(make_system(build(), "auto"), MNASystem)
+        # ...and the forced compiled engine stamps them through the scalar
+        # fallback, producing the same answer.
+        scalar = dc_operating_point(build(), engine="scalar")
+        compiled = dc_operating_point(build(), engine="compiled")
+        assert compiled.voltage("out") == pytest.approx(
+            scalar.voltage("out"), abs=1e-12
+        )
+        # 2x conductance divider: 1k/2 against 1k -> 2/3 of the supply.
+        assert compiled.voltage("out") == pytest.approx(2.0 / 3.0, abs=1e-6)
+
+
+class TestDispatcher:
+    def test_routes_shared_topology_to_batch(self):
+        dispatcher = CircuitSweepDispatcher()
+        circuits = [
+            build_axon_hillock(FAST_AH_DESIGN.with_vdd(v)) for v in (0.9, 1.1)
+        ]
+        results = dispatcher.run_transients(
+            circuits, stop_time="0.5u", time_step="5n", use_initial_conditions=True
+        )
+        assert dispatcher.batched_sweeps == 1 and dispatcher.serial_sweeps == 0
+        assert len(results) == 2
+
+    def test_routes_mismatched_topologies_serially(self):
+        dispatcher = CircuitSweepDispatcher()
+        ops = dispatcher.run_operating_points(
+            [build_inverter(1.0), build_current_driver(1.0)]
+        )
+        assert dispatcher.serial_sweeps == 1 and dispatcher.batched_sweeps == 0
+        assert len(ops) == 2
+
+    def test_batch_disabled_runs_serially(self):
+        dispatcher = CircuitSweepDispatcher(batch=False)
+        dispatcher.run_operating_points([build_inverter(1.0), build_inverter(1.1)])
+        assert dispatcher.serial_sweeps == 1
+
+
+class TestTransientSatellites:
+    def test_step_count_is_ceiled_and_clamped(self):
+        # stop_time = 2.4 * dt used to round to 2 steps and stop at 2*dt.
+        dt = 1e-6
+        times = time_grid(2.4 * dt, dt)
+        assert len(times) == 4
+        assert times[-1] == pytest.approx(2.4 * dt, rel=0, abs=0)
+        assert times[-1] - times[-2] == pytest.approx(0.4 * dt, rel=1e-9)
+        # Exact multiples keep the historical uniform grid.
+        np.testing.assert_allclose(time_grid(1e-3, 1e-4), np.linspace(0, 1e-3, 11))
+
+    def test_transient_covers_fractional_stop_time(self):
+        circuit = Circuit("rc")
+        circuit.add_voltage_source("V1", "in", "0", 1.0)
+        circuit.add_resistor("R1", "in", "out", "1k")
+        circuit.add_capacitor("C1", "out", "0", "1u", initial_voltage=0.0)
+        result = transient_analysis(
+            circuit,
+            stop_time=2.4e-4,
+            time_step=1e-4,
+            use_initial_conditions=True,
+        )
+        assert result.time[-1] == pytest.approx(2.4e-4)
+        assert len(result) == 4
+
+    @pytest.mark.parametrize("engine", ["scalar", "compiled"])
+    def test_capacitor_initial_condition_both_orientations(self, engine):
+        def build(flipped: bool):
+            circuit = Circuit("ic")
+            circuit.add_resistor("R1", "node", "0", "1Meg")
+            if flipped:
+                # (gnd, node): initial_voltage = v(gnd) - v(node) = -0.5
+                # must seed the node at +0.5 V.
+                circuit.add_capacitor(
+                    "C1", "0", "node", "1u", initial_voltage=-0.5
+                )
+            else:
+                circuit.add_capacitor(
+                    "C1", "node", "0", "1u", initial_voltage=0.5
+                )
+            return circuit
+
+        for flipped in (False, True):
+            result = transient_analysis(
+                build(flipped),
+                stop_time="1u",
+                time_step="0.5u",
+                use_initial_conditions=True,
+                engine=engine,
+            )
+            assert result.voltage("node")[0] == pytest.approx(0.5), (
+                f"flipped={flipped}"
+            )
