@@ -12,7 +12,12 @@ The campaign object wraps a classification pipeline (anything exposing
 Every sweep submits its grid points as one batch to a
 :class:`~repro.exec.executor.SweepExecutor`, so independent evaluations run
 in parallel when the campaign is built with ``workers >= 2`` and the
-baseline is computed exactly once per campaign (not once per sweep).
+baseline is computed exactly once per campaign (not once per sweep).  On
+the serial path the executor routes whole batches through the lockstep
+batched SNN engine (:mod:`repro.exec.snn_batch` →
+``pipeline.run_batch``): the grid's variants — which differ only in the
+per-neuron corruptions the fault injector writes — train and evaluate in
+one stacked pass, with results bit-identical to per-run execution.
 """
 
 from __future__ import annotations
@@ -111,6 +116,10 @@ class AttackCampaign:
     workers:
         Convenience shortcut: when ``executor`` is not given, build one
         with this many worker processes (``0``/``1`` = serial).
+    batch_runs:
+        Passed through to the built executor: ``True`` (default) lets
+        serial sweeps run as one lockstep pass on the batched SNN engine
+        when the pipeline supports it, ``False`` forces per-run execution.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class AttackCampaign:
         *,
         executor: Optional[SweepExecutor] = None,
         workers: int = 0,
+        batch_runs: bool = True,
     ) -> None:
         self.pipeline = pipeline
         if (
@@ -131,7 +141,9 @@ class AttackCampaign:
                 "sweeps run through the executor, so results would be "
                 "attributed to the wrong experiment"
             )
-        self.executor = executor or SweepExecutor(pipeline, workers=workers)
+        self.executor = executor or SweepExecutor(
+            pipeline, workers=workers, batch_runs=batch_runs
+        )
 
     # --------------------------------------------------------------- baselines
     @property

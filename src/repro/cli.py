@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for pipeline sweeps (0/1 = serial)",
     )
     run.add_argument(
+        "--engine",
+        choices=("auto", "batched", "scalar"),
+        default="auto",
+        help="SNN execution engine (results are engine-independent; "
+        "'scalar' is the per-example reference, 'batched' the lockstep "
+        "engine, 'auto' picks batched when available)",
+    )
+    run.add_argument(
         "--out",
         default="results",
         metavar="DIR",
@@ -142,7 +150,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = PersistentResultCache(out_dir / CACHE_FILENAME)
     git_sha = git_revision()
 
-    with FigureContext(config, workers=args.workers, cache=cache) as context:
+    with FigureContext(
+        config, workers=args.workers, cache=cache, engine=args.engine
+    ) as context:
         for name in names:
             spec = get_figure(name)
             print(f"[{name}] {spec.title} (scale {config.scale_name})...")

@@ -6,6 +6,20 @@ attack is modelled as a *persistent hardware fault*: it is injected before
 training and stays in place through training, label assignment and
 evaluation, matching the paper's "corrupt crucial training parameters"
 framing.
+
+Engine selection
+----------------
+``engine`` picks how the SNN is advanced:
+
+* ``"scalar"`` — the reference :class:`~repro.snn.network.Network`, one
+  example at a time.
+* ``"batched"`` — the lockstep engine (:mod:`repro.snn.batched`): the label
+  assignment and evaluation passes present ``example_chunk`` examples at
+  once, and :meth:`run_batch` trains a whole batch of attack variants in one
+  lockstep pass.  Results are bit-identical to the scalar engine (that is
+  the batched engine's contract, pinned by ``tests/test_snn_batched.py``).
+* ``"auto"`` (default) — ``"batched"`` unless the runtime fails the
+  engine's reduction-order self-check, then ``"scalar"``.
 """
 
 from __future__ import annotations
@@ -21,14 +35,23 @@ from repro.core.config import ExperimentConfig
 from repro.core.results import ExperimentResult
 from repro.datasets.digits import SyntheticDigits
 from repro.datasets.loaders import train_test_split
-from repro.snn.encoding import poisson_encode
+from repro.snn.batched import (
+    BatchedNetwork,
+    BatchedSpikeMonitor,
+    reduction_contract_holds,
+)
+from repro.snn.encoding import poisson_encode, poisson_encode_batch
 from repro.snn.evaluation import (
     all_activity_prediction,
     assign_labels,
     classification_accuracy,
 )
-from repro.snn.models import DiehlAndCook2015
+from repro.snn.models import DiehlAndCook2015, EXCITATORY_LAYER, INPUT_LAYER
 from repro.utils.rng import RandomState
+from repro.utils.validation import check_in_choices, check_positive
+
+#: Valid values of the pipeline's ``engine`` parameter.
+ENGINES = ("auto", "batched", "scalar")
 
 
 class ClassificationPipeline:
@@ -38,6 +61,12 @@ class ClassificationPipeline:
     ----------
     config:
         Experiment scale and network hyper-parameters.
+    engine:
+        SNN execution engine — ``"auto"`` (default), ``"batched"`` or
+        ``"scalar"``.  Engine choice never changes results, only speed.
+    example_chunk:
+        How many examples the batched inference passes advance in lockstep
+        (bounds the transient memory of the batched Poisson draws).
 
     Notes
     -----
@@ -52,14 +81,25 @@ class ClassificationPipeline:
     runs.  Two consequences the execution subsystem relies on:
 
     * ``run(attack)`` is a pure function of ``(config, attack)``: the same
-      attack gives bit-identical results regardless of run order.
+      attack gives bit-identical results regardless of run order, engine
+      choice, or whether it was evaluated alone or inside a
+      :meth:`run_batch` variant batch.
     * A pipeline rebuilt from the same config in another process (see
       :class:`repro.exec.executor.PipelineFromConfig`) produces the same
       results, so parallel sweeps match serial sweeps exactly.
     """
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        engine: str = "auto",
+        example_chunk: int = 64,
+    ) -> None:
         self.config = config or ExperimentConfig.benchmark()
+        check_in_choices(engine, "engine", ENGINES)
+        self.engine = engine
+        self.example_chunk = int(check_positive(example_chunk, "example_chunk"))
         root = RandomState(self.config.seed, name="pipeline")
         self._dataset_rng = root.spawn("dataset")
         self._split_rng = root.spawn("split")
@@ -78,6 +118,22 @@ class ClassificationPipeline:
         self.eval_images = eval_x[: self.config.n_eval]
         self.eval_labels = eval_y[: self.config.n_eval]
         self._baseline_result: Optional[ExperimentResult] = None
+
+    # ----------------------------------------------------------------- engine
+    @property
+    def resolved_engine(self) -> str:
+        """The engine actually used: ``"batched"`` or ``"scalar"``.
+
+        ``"auto"`` resolves to the batched engine unless this NumPy fails
+        the lockstep engine's reduction-order self-check (in which case the
+        scalar reference is the only engine that can honour the pipeline's
+        determinism guarantees).
+        """
+        if self.engine == "scalar":
+            return "scalar"
+        if self.engine == "batched":
+            return "batched"
+        return "batched" if reduction_contract_holds() else "scalar"
 
     # ----------------------------------------------------------------- pieces
     def build_network(self) -> DiehlAndCook2015:
@@ -103,12 +159,56 @@ class ClassificationPipeline:
     def record_responses(
         self, network: DiehlAndCook2015, images: np.ndarray, *, stream: str
     ) -> np.ndarray:
-        """Excitatory spike counts for each image, with learning disabled."""
+        """Excitatory spike counts for each image, with learning disabled.
+
+        The batched engine presents ``example_chunk`` examples in lockstep;
+        the scalar engine loops.  Counts are bit-identical either way.
+        """
+        if self.resolved_engine == "batched":
+            batched = BatchedNetwork.from_networks([network])
+            counts = self._batched_responses(batched, images, stream=stream)
+            return counts[0]
+        return self._record_responses_scalar(network, images, stream=stream)
+
+    def _record_responses_scalar(
+        self, network: DiehlAndCook2015, images: np.ndarray, *, stream: str
+    ) -> np.ndarray:
+        """The reference per-example inference loop (scalar engine)."""
         rng = RandomState(self.config.seed, name=f"{stream}_encoding")
         counts: List[np.ndarray] = []
         for image in images:
             counts.append(network.present(self._encode(image, rng), learning=False))
         return np.asarray(counts)
+
+    def _batched_responses(
+        self, batched: BatchedNetwork, images: np.ndarray, *, stream: str
+    ) -> np.ndarray:
+        """Spike counts ``(variants, n_images, n_neurons)`` via lockstep runs.
+
+        Examples are encoded and presented in ``example_chunk``-wide chunks;
+        chunked encoding consumes the per-stream generator exactly as the
+        scalar per-image loop does, so the spike counts of every (variant,
+        example) lane match the scalar engine's bit for bit.
+        """
+        monitor = batched.monitors.get("excitatory_counts")
+        if monitor is None:
+            monitor = batched.add_monitor(
+                "excitatory_counts",
+                BatchedSpikeMonitor(EXCITATORY_LAYER, counts_only=True),
+            )
+        rng = RandomState(self.config.seed, name=f"{stream}_encoding")
+        chunks: List[np.ndarray] = []
+        for start in range(0, len(images), self.example_chunk):
+            chunk = images[start : start + self.example_chunk]
+            rasters = poisson_encode_batch(
+                chunk,
+                time_steps=self.config.time_steps,
+                max_rate=self.config.max_rate,
+                rng=rng,
+            )
+            batched.present({INPUT_LAYER: rasters}, learning=False)
+            chunks.append(monitor.spike_counts())
+        return np.concatenate(chunks, axis=1)
 
     def assign(self, network: DiehlAndCook2015) -> Tuple[np.ndarray, np.ndarray]:
         """Assign each excitatory neuron to a digit class from training activity."""
@@ -140,13 +240,18 @@ class ClassificationPipeline:
             (self.config.seed, label_key), name=f"faults[{attack.label()}]"
         )
 
+    def _attacked_network(self, attack: PowerAttack) -> Tuple[DiehlAndCook2015, List]:
+        """A fresh network with the attack's faults injected."""
+        network = self.build_network()
+        injector = FaultInjector(network, rng=self._fault_rng(attack))
+        records = attack.apply(injector)
+        return network, records
+
     # ------------------------------------------------------------------- runs
     def run(self, attack: Optional[PowerAttack] = None) -> ExperimentResult:
         """Train and evaluate one network, optionally under a persistent attack."""
         attack = attack or NoAttack()
-        network = self.build_network()
-        injector = FaultInjector(network, rng=self._fault_rng(attack))
-        records = attack.apply(injector)
+        network, records = self._attacked_network(attack)
         self.train(network)
         assignments, _rates = self.assign(network)
         accuracy, mean_spikes = self.evaluate(network, assignments)
@@ -167,6 +272,85 @@ class ClassificationPipeline:
             self._baseline_result = result
         return result
 
+    def run_batch(
+        self, attacks: Sequence[Optional[PowerAttack]]
+    ) -> List[ExperimentResult]:
+        """Evaluate a batch of attacks in one lockstep variant pass.
+
+        Every attack's network shares the Diehl&Cook topology and differs
+        only in the injected per-neuron corruptions, so the whole grid
+        trains together on the batched engine: one pass over the training
+        images advances every variant, then the assignment and evaluation
+        passes batch variants × examples.  Each returned
+        :class:`ExperimentResult` is bit-identical to ``run(attack)``.
+
+        ``None`` entries request the attack-free baseline.  Raises
+        :class:`~repro.snn.batched.BatchedNetworkError` subclasses when the
+        lockstep engine cannot host the network (callers fall back to
+        per-attack runs); with ``engine="scalar"`` it simply loops.
+        """
+        attacks = [attack or NoAttack() for attack in attacks]
+        if self.resolved_engine != "batched" or len(attacks) == 1:
+            return [self.run(attack) for attack in attacks]
+
+        networks: List[DiehlAndCook2015] = []
+        fault_records: List[List] = []
+        for attack in attacks:
+            network, records = self._attacked_network(attack)
+            networks.append(network)
+            fault_records.append(records)
+        batched = BatchedNetwork.from_networks(networks)
+
+        # Lockstep STDP training: every variant sees the identical encoded
+        # raster a scalar run would (the stream is attack-independent).
+        rng = RandomState(self.config.seed, name="train_encoding")
+        for image in self.train_images:
+            batched.present({INPUT_LAYER: self._encode(image, rng)}, learning=True)
+
+        assign_counts = self._batched_responses(
+            batched, self.train_images, stream="assign"
+        )
+        eval_counts = self._batched_responses(batched, self.eval_images, stream="eval")
+
+        accuracies: List[float] = []
+        mean_spikes: List[float] = []
+        for variant in range(len(attacks)):
+            assignments, _rates = assign_labels(
+                assign_counts[variant], self.train_labels, self.config.n_classes
+            )
+            predictions = all_activity_prediction(
+                eval_counts[variant], assignments, self.config.n_classes
+            )
+            accuracies.append(
+                classification_accuracy(predictions, self.eval_labels)
+            )
+            mean_spikes.append(float(eval_counts[variant].sum(axis=1).mean()))
+
+        baseline_accuracy = (
+            self._baseline_result.accuracy if self._baseline_result is not None else None
+        )
+        if baseline_accuracy is None:
+            for attack, accuracy in zip(attacks, accuracies):
+                if isinstance(attack, NoAttack):
+                    baseline_accuracy = accuracy
+                    break
+        results: List[ExperimentResult] = []
+        for attack, accuracy, spikes, records in zip(
+            attacks, accuracies, mean_spikes, fault_records
+        ):
+            result = ExperimentResult(
+                attack_label=attack.label(),
+                accuracy=accuracy,
+                baseline_accuracy=baseline_accuracy,
+                mean_excitatory_spikes=spikes,
+                fault_descriptions=[record.describe() for record in records],
+                scale_name=self.config.scale_name,
+            )
+            if isinstance(attack, NoAttack) and self._baseline_result is None:
+                self._baseline_result = result
+            results.append(result)
+        return results
+
     def run_many(
         self,
         attacks: Sequence[Optional[PowerAttack]],
@@ -178,13 +362,15 @@ class ClassificationPipeline:
 
         ``None`` entries request the attack-free baseline.  With
         ``workers >= 2`` the evaluations fan out over a process pool (each
-        worker rebuilds this pipeline from ``self.config``); accuracies and
-        spike counts are identical to the serial path either way.  The
-        back-referencing ``baseline_accuracy`` field is filled on attacked
-        results only once the baseline is known to the executor — include a
-        ``None`` entry in the batch (as the campaign sweeps do) to guarantee
-        it in both modes; without one, a serial run may still inherit it
-        from this pipeline's cached baseline while a parallel run cannot.
+        worker rebuilds this pipeline from ``self.config``); on the serial
+        path the executor routes the batch through :meth:`run_batch`, so a
+        whole sweep trains in one lockstep pass.  Accuracies and spike
+        counts are identical in every mode.  The back-referencing
+        ``baseline_accuracy`` field is filled on attacked results only once
+        the baseline is known to the executor — include a ``None`` entry in
+        the batch (as the campaign sweeps do) to guarantee it in both
+        modes; without one, a serial run may still inherit it from this
+        pipeline's cached baseline while a parallel run cannot.
         """
         from repro.exec.executor import SweepExecutor
 

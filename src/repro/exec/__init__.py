@@ -16,6 +16,10 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   counterpart: sweeps whose points are parameter variants of one topology
   (threshold/VDD grids) advance in lockstep through the batched engine of
   :mod:`repro.analog.batch` instead of one simulation per point.
+* :class:`~repro.exec.snn_batch.PipelineBatchDispatcher` — the pipeline-tier
+  twin: a serial batch of attack evaluations (variants of one Diehl&Cook
+  topology) trains and evaluates in one lockstep pass through the batched
+  SNN engine (:mod:`repro.snn.batched`) instead of one full run per point.
 
 Parallel execution is bit-identical to serial execution: every pipeline run
 derives its random streams from ``(config.seed, attack label)`` alone, never
@@ -32,9 +36,11 @@ from repro.exec.executor import (
     TaskTiming,
     default_worker_count,
 )
+from repro.exec.snn_batch import PipelineBatchDispatcher
 
 __all__ = [
     "CircuitSweepDispatcher",
+    "PipelineBatchDispatcher",
     "ResultCache",
     "attack_cache_key",
     "ExecutionStats",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exec.cache import ResultCache, attack_cache_key, scope_key
+from repro.exec.snn_batch import PipelineBatchDispatcher
 
 #: Module-global pipeline of the current worker process (set by the pool
 #: initializer, used by every task executed in that worker).
@@ -53,14 +54,17 @@ class PipelineFromConfig:
 
     Rebuilding from the config is cheap relative to one training run and
     sidesteps pickling the parent pipeline's dataset arrays and RNG state.
+    ``engine`` selects the SNN execution engine of the rebuilt pipeline
+    (results are engine-independent; see :mod:`repro.core.pipeline`).
     """
 
     config: object
+    engine: str = "auto"
 
     def __call__(self):
         from repro.core.pipeline import ClassificationPipeline
 
-        return ClassificationPipeline(self.config)
+        return ClassificationPipeline(self.config, engine=self.engine)
 
 
 @dataclass
@@ -142,6 +146,11 @@ class SweepExecutor:
     mp_context:
         Optional :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``).  ``None`` uses the platform default.
+    batch_runs:
+        ``True`` (default) lets the serial path route whole batches through
+        the pipeline's lockstep ``run_batch`` (the batched SNN engine, see
+        :mod:`repro.exec.snn_batch`) when the pipeline supports it;
+        ``False`` forces per-run serial execution.
     """
 
     def __init__(
@@ -153,6 +162,7 @@ class SweepExecutor:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
         mp_context: Optional[str] = None,
+        batch_runs: bool = True,
     ) -> None:
         if pipeline is None and pipeline_factory is None:
             raise ValueError("SweepExecutor needs a pipeline or a pipeline_factory")
@@ -165,6 +175,7 @@ class SweepExecutor:
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._scope: Optional[str] = None
+        self.dispatcher = PipelineBatchDispatcher(batch=batch_runs)
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -183,7 +194,9 @@ class SweepExecutor:
                 "parallel execution needs a picklable pipeline_factory; the "
                 "wrapped pipeline has no .config to rebuild one from"
             )
-        return PipelineFromConfig(config)
+        # Propagate the wrapped pipeline's engine choice so a forced
+        # engine="scalar" (or "batched") holds on the parallel path too.
+        return PipelineFromConfig(config, engine=getattr(self._pipeline, "engine", "auto"))
 
     @property
     def parallel(self) -> bool:
@@ -282,6 +295,11 @@ class SweepExecutor:
                 )
 
     def _run_serial(self, pending: Dict[str, object], total: int) -> None:
+        if self.dispatcher.supports(self.pipeline, total):
+            if self._run_serial_batched(pending, total):
+                return
+        else:
+            self.dispatcher.note_serial()
         done = 0
         for key, attack in pending.items():
             start = time.perf_counter()
@@ -297,6 +315,29 @@ class SweepExecutor:
             done += 1
             if self._progress is not None:
                 self._progress(timing, done, total)
+
+    def _run_serial_batched(self, pending: Dict[str, object], total: int) -> bool:
+        """Evaluate a whole pending batch in one lockstep variant pass.
+
+        Returns ``False`` when the batched engine rejected the network (the
+        caller then falls back to the per-run loop).  Timings attribute the
+        pass's wall-clock evenly across its tasks, under the ``"batched"``
+        worker mode, so ``ExecutionStats`` stays truthful about where time
+        went (``task_seconds`` equals wall time for a lockstep pass — the
+        speedup shows up as fewer seconds, not as pool concurrency).
+        """
+        start = time.perf_counter()
+        results = self.dispatcher.run(self.pipeline, list(pending.values()))
+        if results is None:
+            return False
+        seconds = (time.perf_counter() - start) / max(total, 1)
+        for done, (key, result) in enumerate(zip(pending, results), start=1):
+            timing = TaskTiming(key=key, seconds=seconds, worker_mode="batched")
+            self.cache.put(key, result)
+            self.stats.record(timing)
+            if self._progress is not None:
+                self._progress(timing, done, total)
+        return True
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """The executor's persistent worker pool (created on first use).

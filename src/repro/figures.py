@@ -87,6 +87,12 @@ class FigureContext:
         Optional result cache — pass a
         :class:`repro.store.PersistentResultCache` to make runs resumable
         across processes.
+    engine:
+        SNN execution engine for pipelines built by this context —
+        ``"auto"`` (default, lockstep-batched when available), ``"batched"``
+        or ``"scalar"``.  Engine choice never changes the numbers (the
+        batched engine is bit-exact against the scalar reference); a
+        pre-built ``pipeline`` keeps its own engine.
     executor:
         Fully custom executor (overrides ``pipeline``/``workers``/``cache``).
     """
@@ -98,18 +104,20 @@ class FigureContext:
         pipeline=None,
         workers: int = 0,
         cache=None,
+        engine: str = "auto",
         executor: Optional[SweepExecutor] = None,
     ) -> None:
         if config is None and pipeline is not None:
             config = pipeline.config
         self.config = config or ExperimentConfig.from_environment()
+        self.engine = engine
         if executor is not None:
             self.executor = executor
         elif pipeline is not None:
             self.executor = SweepExecutor(pipeline, workers=workers, cache=cache)
         else:
             self.executor = SweepExecutor(
-                pipeline_factory=PipelineFromConfig(self.config),
+                pipeline_factory=PipelineFromConfig(self.config, engine=engine),
                 workers=workers,
                 cache=cache,
             )

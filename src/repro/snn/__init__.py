@@ -14,13 +14,30 @@ run without PyTorch:
   per-target normalisation.
 * :mod:`repro.snn.learning` — PostPre STDP (the Diehl&Cook rule), a
   weight-dependent variant and a no-op rule.
-* :mod:`repro.snn.network` — the simulation engine and monitors.
-* :mod:`repro.snn.models` — the DiehlAndCook2015 three-layer architecture.
+* :mod:`repro.snn.network` — the scalar simulation engine and monitors.
+* :mod:`repro.snn.batched` — the lockstep batched engine: attack-variant
+  and example batching with bit-exact parity against the scalar engine.
+* :mod:`repro.snn.models` — the DiehlAndCook2015 three-layer architecture
+  and the ``MODEL_VARIANTS`` registry the parity suite iterates.
 * :mod:`repro.snn.evaluation` — neuron-to-class assignment and the
   all-activity / proportion-weighting accuracy metrics.
 """
 
-from repro.snn.encoding import bernoulli_encode, poisson_encode, regular_rate_encode
+from repro.snn.batched import (
+    BatchedNetwork,
+    BatchedNetworkError,
+    BatchedSpikeMonitor,
+    BatchedStateMonitor,
+    NetworkTopologyMismatchError,
+    reduction_contract_holds,
+    UnsupportedNetworkError,
+)
+from repro.snn.encoding import (
+    bernoulli_encode,
+    poisson_encode,
+    poisson_encode_batch,
+    regular_rate_encode,
+)
 from repro.snn.nodes import (
     AdaptiveLIFNodes,
     InputNodes,
@@ -30,7 +47,7 @@ from repro.snn.nodes import (
 from repro.snn.topology import Connection
 from repro.snn.learning import NoOp, PostPre, WeightDependentPostPre
 from repro.snn.network import Network, SpikeMonitor, StateMonitor
-from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters
+from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters, MODEL_VARIANTS
 from repro.snn.evaluation import (
     all_activity_prediction,
     assign_labels,
@@ -39,9 +56,18 @@ from repro.snn.evaluation import (
 )
 
 __all__ = [
+    "BatchedNetwork",
+    "BatchedNetworkError",
+    "BatchedSpikeMonitor",
+    "BatchedStateMonitor",
+    "NetworkTopologyMismatchError",
+    "UnsupportedNetworkError",
+    "reduction_contract_holds",
     "bernoulli_encode",
     "poisson_encode",
+    "poisson_encode_batch",
     "regular_rate_encode",
+    "MODEL_VARIANTS",
     "Nodes",
     "InputNodes",
     "LIFNodes",

@@ -1,0 +1,885 @@
+"""Lockstep batched simulation of SNN variants and example batches.
+
+The attack figures re-train and re-evaluate the same Diehl&Cook-style
+network once per grid point, and the scalar :class:`~repro.snn.network.Network`
+advances one example at a time through a per-timestep Python loop — at the
+layer sizes of this paper (100-neuron layers) the per-step NumPy-call
+overhead dominates.  :class:`BatchedNetwork` removes it the same way the
+circuit tier's :mod:`repro.analog.batch` does: it stacks B instances of one
+topology and advances them in lockstep, so each time step is a handful of
+NumPy calls over ``(B, n)`` arrays instead of ``B`` full Python passes.
+
+Two composable batch axes:
+
+* **variants** (``V``) — networks that share a topology but differ in
+  per-neuron parameters (threshold scale, input gain — exactly what the
+  fault injector corrupts) and, once training diverges, in plastic weights.
+  One lockstep pass trains/evaluates a whole attack grid.
+* **examples** (``E``) — independent examples presented simultaneously to
+  the *same* network.  Only valid with learning disabled (the scalar
+  reference trains strictly sequentially), which is precisely the label
+  assignment / evaluation passes of the classification pipeline.
+
+Exact parity
+------------
+The engine's contract is *bit-identical* spike rasters and state traces
+against the scalar :class:`~repro.snn.network.Network` under identical
+inputs — not "close", identical.  Every batched operation is chosen so its
+per-lane result provably equals the scalar op:
+
+* elementwise updates (leak, integrate, fire, traces, theta) are identical
+  regardless of stacking;
+* the scalar synaptic drive ``w[spikes].sum(axis=0)`` reduces over a
+  *strided* axis, which NumPy accumulates sequentially — the stacked form
+  ``w[:, spikes, :].sum(axis=1)`` reduces in the same per-lane order
+  (verified at runtime by :func:`reduction_contract_holds`);
+* the one-to-one and lateral-inhibition projections of the Diehl&Cook
+  wiring are detected structurally and evaluated in closed form whose
+  exactness is *checked against the scalar reduction* when the engine is
+  compiled (falling back to a per-lane loop when the check fails);
+* STDP updates with per-lane spike masks loop over the affected lanes
+  applying exactly the scalar expression; weight clamping is applied to
+  the touched rows/columns only (a clip of an in-range value is the
+  identity, so skipping untouched entries cannot change anything), with a
+  full-matrix clip after every normalisation — mirroring where the scalar
+  path's full clip actually has an effect.
+
+Entry points
+------------
+:meth:`BatchedNetwork.from_networks` compiles V scalar networks (variants
+of one topology, checked by :func:`assert_same_topology`);
+:meth:`BatchedNetwork.present` mirrors
+:meth:`repro.snn.models.DiehlAndCook2015.present` for a batch.  The
+classification pipeline and the attack-campaign executor route through
+this module via ``engine="auto"|"batched"|"scalar"`` — see
+:mod:`repro.core.pipeline` and :mod:`repro.exec.snn_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.snn.network import Network
+from repro.snn.nodes import AdaptiveLIFNodes, InputNodes, LIFNodes, Nodes
+from repro.snn.topology import Connection
+
+
+class BatchedNetworkError(ValueError):
+    """Base class for batched-engine build/run errors."""
+
+
+class NetworkTopologyMismatchError(BatchedNetworkError):
+    """Raised when the networks handed to the batched engine differ in topology."""
+
+
+class UnsupportedNetworkError(BatchedNetworkError):
+    """Raised when a network uses node/rule types the batched engine cannot mirror."""
+
+
+# --------------------------------------------------------------------------
+# Runtime verification of the reduction-order contract.
+# --------------------------------------------------------------------------
+
+_REDUCTION_CONTRACT: Optional[bool] = None
+
+
+def reduction_contract_holds() -> bool:
+    """Whether NumPy's strided-axis reductions match the scalar engine's order.
+
+    The scalar drive ``w[mask].sum(axis=0)`` and normalisation totals
+    ``w.sum(axis=0)`` reduce over a strided axis.  The batched engine relies
+    on the equivalent stacked reductions (``axis=1`` of a ``(V, k, n)``
+    array) visiting lanes in the same sequential order — true for every
+    NumPy the project supports, but cheap to verify instead of assume.  The
+    check runs once per process; when it fails the ``auto`` engine quietly
+    stays on the scalar path and ``engine="batched"`` raises.
+    """
+    global _REDUCTION_CONTRACT
+    if _REDUCTION_CONTRACT is None:
+        rng = np.random.default_rng(1234)
+        holds = True
+        for k in (1, 2, 7, 33, 200):
+            w = rng.random((3, k, 17))
+            stacked = w.sum(axis=1)
+            per_lane = np.stack([w[b].sum(axis=0) for b in range(3)])
+            if not np.array_equal(stacked, per_lane):
+                holds = False
+                break
+            sequential = w[0, 0].copy()
+            for i in range(1, k):
+                sequential = sequential + w[0, i]
+            if not np.array_equal(per_lane[0], sequential):
+                holds = False
+                break
+        _REDUCTION_CONTRACT = holds
+    return _REDUCTION_CONTRACT
+
+
+# --------------------------------------------------------------------------
+# Topology validation.
+# --------------------------------------------------------------------------
+
+_LIF_PARAMETERS = (
+    "rest",
+    "reset",
+    "decay",
+    "refractory_period",
+    "threshold_convention",
+)
+
+
+def _layer_signature(nodes: Nodes) -> tuple:
+    signature: List[object] = [type(nodes), nodes.n, nodes.dt, nodes.trace_decay]
+    if isinstance(nodes, LIFNodes):
+        signature += [getattr(nodes, name) for name in _LIF_PARAMETERS]
+        signature.append(nodes.base_thresh.tobytes())
+    if isinstance(nodes, AdaptiveLIFNodes):
+        signature += [nodes.theta_plus, nodes.theta_decay]
+    return tuple(signature)
+
+
+def _rule_signature(rule) -> tuple:
+    if rule is None:
+        return (None,)
+    return (type(rule), getattr(rule, "nu_pre", None), getattr(rule, "nu_post", None))
+
+
+def assert_same_topology(networks: Sequence[Network]) -> None:
+    """Validate that every network is a parameter variant of the first.
+
+    Layer names/types/sizes, static neuron parameters, connection wiring,
+    weight bounds, normalisation targets and learning-rule configurations
+    must match.  Per-neuron *corruptions* (``threshold_scale``,
+    ``input_gain``), adaptation state (``theta``) and plastic weights are
+    free to differ — that is the point of variant batching.
+    """
+    if not networks:
+        raise BatchedNetworkError("batched execution needs at least one network")
+    reference = networks[0]
+    ref_layers = {name: _layer_signature(nodes) for name, nodes in reference.layers.items()}
+    ref_connections = {
+        key: (conn.wmin, conn.wmax, conn.norm, conn.w.shape, _rule_signature(conn.update_rule))
+        for key, conn in reference.connections.items()
+    }
+    for network in networks[1:]:
+        if network.dt != reference.dt:
+            raise NetworkTopologyMismatchError("networks differ in dt")
+        layers = {name: _layer_signature(nodes) for name, nodes in network.layers.items()}
+        if layers != ref_layers:
+            raise NetworkTopologyMismatchError(
+                "networks differ in layer names, types, sizes or static parameters"
+            )
+        connections = {
+            key: (
+                conn.wmin,
+                conn.wmax,
+                conn.norm,
+                conn.w.shape,
+                _rule_signature(conn.update_rule),
+            )
+            for key, conn in network.connections.items()
+        }
+        if connections != ref_connections:
+            raise NetworkTopologyMismatchError(
+                "networks differ in connection wiring, bounds or learning rules"
+            )
+
+
+# --------------------------------------------------------------------------
+# Layer batches.
+# --------------------------------------------------------------------------
+
+
+class _LayerBatch:
+    """Stacked state of one layer across V variants and E example lanes.
+
+    Input layers are *uniform* across variants (every variant sees the same
+    encoded raster), so their state carries a leading axis of 1 and
+    broadcasts; LIF layers carry full ``(V, E, n)`` state.
+    """
+
+    def __init__(self, name: str, nodes_list: Sequence[Nodes]) -> None:
+        template = nodes_list[0]
+        self.name = name
+        self.n = template.n
+        self.variants = len(nodes_list)
+        self.is_input = isinstance(template, InputNodes)
+        self.is_adaptive = isinstance(template, AdaptiveLIFNodes)
+        if not self.is_input and not isinstance(template, LIFNodes):
+            raise UnsupportedNetworkError(
+                f"layer {name!r} uses {type(template).__name__}, which the "
+                "batched engine does not mirror"
+            )
+        self.trace_decay = template.trace_decay
+        self.dt = template.dt
+        if isinstance(template, LIFNodes):
+            self.rest = template.rest
+            self.reset = template.reset
+            self.decay = template.decay
+            self.refractory_period = template.refractory_period
+            self.threshold_convention = template.threshold_convention
+            self.base_thresh = template.base_thresh.copy()
+            self.threshold_scale = np.stack(
+                [nodes.threshold_scale for nodes in nodes_list]
+            )[:, None, :]
+            self.input_gain = np.stack([nodes.input_gain for nodes in nodes_list])[:, None, :]
+        if self.is_adaptive:
+            self.theta_plus = template.theta_plus
+            self.theta_decay = template.theta_decay
+            self.theta = np.stack([nodes.theta for nodes in nodes_list])[:, None, :]
+        # Transient state — allocated per example-batch width by _ensure_state.
+        self.v: Optional[np.ndarray] = None
+        self.refractory: Optional[np.ndarray] = None
+        self.spikes: Optional[np.ndarray] = None
+        self.traces: Optional[np.ndarray] = None
+        self._examples = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def uniform_across_variants(self) -> bool:
+        """True when every variant lane shares this layer's state (inputs)."""
+        return self.is_input
+
+    def state_shape(self, examples: int) -> Tuple[int, int, int]:
+        """The stacked state shape for ``examples`` lockstep examples."""
+        lanes = 1 if self.is_input else self.variants
+        return (lanes, examples, self.n)
+
+    def ensure_state(self, examples: int) -> None:
+        """(Re)allocate transient state for an ``examples``-wide run."""
+        if self._examples == examples and self.spikes is not None:
+            return
+        shape = self.state_shape(examples)
+        self.spikes = np.zeros(shape, dtype=bool)
+        self.traces = np.zeros(shape)
+        if not self.is_input:
+            self.v = np.full(shape, self.rest)
+            self.refractory = np.zeros(shape)
+        self._examples = examples
+
+    def reset_state_variables(self) -> None:
+        """Reset per-example state; adaptation (theta) persists — as scalar."""
+        if self.spikes is None:
+            return
+        self.spikes.fill(False)
+        self.traces.fill(0.0)
+        if not self.is_input:
+            self.v.fill(self.rest)
+            self.refractory.fill(0.0)
+
+    # --------------------------------------------------------------- dynamics
+    def thresh(self) -> np.ndarray:
+        """Effective per-variant threshold, mirroring ``LIFNodes.thresh``."""
+        if self.threshold_convention == "signed_value":
+            base = self.base_thresh * self.threshold_scale
+        else:
+            base = self.rest + (self.base_thresh - self.rest) * self.threshold_scale
+        if self.is_adaptive:
+            return base + self.theta
+        return base
+
+    def set_input(self, spikes: np.ndarray) -> None:
+        """Present one step of input spikes, ``(E, n)``, and update traces."""
+        np.copyto(self.spikes[0], spikes)
+        self.traces *= self.trace_decay
+        if self.spikes.any():
+            self.traces[self.spikes] = 1.0
+
+    def update_traces(self) -> None:
+        self.traces *= self.trace_decay
+        if self.spikes.any():
+            self.traces[self.spikes] = 1.0
+
+    def step(self, drive: np.ndarray, learning: bool) -> None:
+        """One lockstep LIF update — the exact scalar expressions, stacked."""
+        self.v = self.decay * (self.v - self.rest) + self.rest
+        not_refractory = self.refractory <= 0
+        self.v = self.v + not_refractory * self.input_gain * drive
+        self.refractory = np.maximum(self.refractory - self.dt, 0.0)
+        self.spikes = self.v >= self.thresh()
+        if self.spikes.any():
+            self.v[self.spikes] = self.reset
+            self.refractory[self.spikes] = self.refractory_period
+        self.update_traces()
+        if self.is_adaptive and learning:
+            self.theta *= self.theta_decay
+            if self.spikes.any():
+                self.theta[self.spikes] += self.theta_plus
+
+
+# --------------------------------------------------------------------------
+# Connection batches.
+# --------------------------------------------------------------------------
+
+#: Drive strategies, selected structurally when the engine is compiled.
+DRIVE_GENERIC = "generic"
+DRIVE_DIAGONAL = "diagonal"
+DRIVE_LATERAL = "constant_lateral"
+
+
+def _sequential_constant_table(value: float, n: int) -> np.ndarray:
+    """``table[m]`` = sequential accumulation of ``m`` copies of ``value``."""
+    table = np.zeros(n + 1)
+    acc = 0.0
+    for m in range(1, n + 1):
+        acc = acc + value
+        table[m] = acc
+    return table
+
+
+class _ConnectionBatch:
+    """Weights + drive/plasticity machinery of one connection across variants."""
+
+    def __init__(
+        self,
+        key: Tuple[str, str],
+        source: _LayerBatch,
+        target: _LayerBatch,
+        connections: Sequence[Connection],
+    ) -> None:
+        template = connections[0]
+        self.key = key
+        self.source_batch = source
+        self.target_batch = target
+        self.wmin = template.wmin
+        self.wmax = template.wmax
+        self.norm = template.norm
+        self.update_rule = template.update_rule
+        self.batch_size = len(connections)
+        if self.update_rule is not None and not callable(
+            getattr(self.update_rule, "update_batched", None)
+        ):
+            raise UnsupportedNetworkError(
+                f"learning rule {type(self.update_rule).__name__} does not "
+                "implement update_batched()"
+            )
+
+        weights = [connection.w for connection in connections]
+        identical = all(np.array_equal(weights[0], w) for w in weights[1:])
+        plastic = self.update_rule is not None and type(self.update_rule).__name__ != "NoOp"
+        self.shared = identical and not plastic
+        if self.shared:
+            self.w = weights[0].copy()
+        else:
+            self.w = np.stack(weights)
+        self.strategy = self._select_strategy()
+        # Clamp bookkeeping: a full clip is only *needed* right after a
+        # normalisation (construction already clamps); in between, clipping
+        # the touched rows/columns is bit-identical to the scalar full clip.
+        self._full_clamp = False
+        self._touched_rows: Optional[np.ndarray] = None
+        self._touched_row_variants: List[Tuple[int, np.ndarray]] = []
+        self._touched_cols: List[Tuple[int, np.ndarray]] = []
+
+    # -------------------------------------------------------------- structure
+    def _select_strategy(self) -> str:
+        if not self.shared:
+            return DRIVE_GENERIC
+        w = self.w
+        n_pre, n_post = w.shape
+        if n_pre != n_post:
+            return DRIVE_GENERIC
+        diag = np.diag(w).copy()
+        off_diag = w - np.diag(diag)
+        if not off_diag.any():
+            self._diagonal = diag
+            return DRIVE_DIAGONAL
+        off_values = w[~np.eye(n_pre, dtype=bool)]
+        if diag.any() or off_values.size == 0 or not np.all(off_values == off_values[0]):
+            return DRIVE_GENERIC
+        constant = float(off_values[0])
+        table = _sequential_constant_table(constant, n_pre)
+        if not self._lateral_table_is_exact(table):
+            return DRIVE_GENERIC
+        self._lateral_table = table
+        return DRIVE_LATERAL
+
+    def _lateral_table_is_exact(self, table: np.ndarray) -> bool:
+        """Check the closed form against the scalar reduction on real masks.
+
+        Exercises every mask size with both diagonal-in and diagonal-out
+        subsets, so a NumPy whose reduction order depends on the operand
+        count would be caught here and the connection demoted to the
+        per-lane generic path.
+        """
+        w = self.w
+        n = w.shape[0]
+        rng = np.random.default_rng(n)
+        for size in range(1, n + 1):
+            chosen = rng.choice(n, size=size, replace=False)
+            mask = np.zeros(n, dtype=bool)
+            mask[chosen] = True
+            expected = w[mask].sum(axis=0)
+            counts = int(mask.sum())
+            predicted = table[counts - mask.astype(int)]
+            if not np.array_equal(expected, predicted):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ drive
+    def compute_drive(self) -> Optional[np.ndarray]:
+        """Post-synaptic drive, broadcastable to ``(V, E, n_post)``.
+
+        Returns ``None`` when the source is silent (the scalar path adds an
+        exact zero vector then, so skipping the add is bit-identical).
+        """
+        spikes = self.source_batch.spikes
+        if not spikes.any():
+            return None
+        if self.strategy == DRIVE_DIAGONAL:
+            return np.where(spikes, self._diagonal, 0.0)
+        if self.strategy == DRIVE_LATERAL:
+            counts = spikes.sum(axis=2)
+            return self._lateral_table[counts[:, :, None] - spikes]
+        return self._generic_drive(spikes)
+
+    def _generic_drive(self, spikes: np.ndarray) -> np.ndarray:
+        lanes, examples, _ = spikes.shape
+        n_post = self.target_batch.n
+        if self.shared:
+            if lanes == 1:
+                out = np.zeros((1, examples, n_post))
+                for e in range(examples):
+                    mask = spikes[0, e]
+                    if mask.any():
+                        out[0, e] = self.w[mask].sum(axis=0)
+                return out
+            out = np.zeros((lanes, examples, n_post))
+            for v in range(lanes):
+                for e in range(examples):
+                    mask = spikes[v, e]
+                    if mask.any():
+                        out[v, e] = self.w[mask].sum(axis=0)
+            return out
+        variants = self.batch_size
+        if lanes == 1:
+            # Uniform source (the encoded input): one stacked reduction per
+            # example serves every variant at once.
+            out = np.zeros((variants, examples, n_post))
+            for e in range(examples):
+                mask = spikes[0, e]
+                if mask.any():
+                    out[:, e, :] = self.w[:, mask, :].sum(axis=1)
+            return out
+        out = np.zeros((variants, examples, n_post))
+        for v in range(variants):
+            for e in range(examples):
+                mask = spikes[v, e]
+                if mask.any():
+                    out[v, e] = self.w[v][mask].sum(axis=0)
+        return out
+
+    # ------------------------------------------------------------- plasticity
+    @property
+    def stacked_w(self) -> np.ndarray:
+        """The per-variant weight stack (learning rules operate on this)."""
+        return self.w
+
+    def touch_rows(self, mask: np.ndarray) -> None:
+        """Record pre-synaptic rows modified this step (shared across variants)."""
+        if self._touched_rows is None:
+            self._touched_rows = mask.copy()
+        else:
+            self._touched_rows |= mask
+
+    def touch_rows_variant(self, variant: int, mask: np.ndarray) -> None:
+        """Record pre-synaptic rows modified this step for one variant."""
+        self._touched_row_variants.append((variant, mask))
+
+    def touch_cols(self, variant: int, mask: np.ndarray) -> None:
+        """Record post-synaptic columns modified this step for one variant."""
+        self._touched_cols.append((variant, mask))
+
+    def apply_update(self) -> None:
+        if self.update_rule is not None:
+            self.update_rule.update_batched(self)
+            self.clamp()
+
+    def clamp(self) -> None:
+        """Clip modified weights into ``[wmin, wmax]``.
+
+        Full-matrix right after a normalisation (where the scalar path's
+        every-step clip actually bites), touched slices otherwise — clipping
+        an already-in-range value is the identity, so the results are
+        bit-identical to the scalar engine's unconditional full clip.
+        """
+        if self._full_clamp:
+            np.clip(self.w, self.wmin, self.wmax, out=self.w)
+            self._full_clamp = False
+        else:
+            if self._touched_rows is not None and self._touched_rows.any():
+                if self.shared:
+                    self.w[self._touched_rows, :] = np.clip(
+                        self.w[self._touched_rows, :], self.wmin, self.wmax
+                    )
+                else:
+                    self.w[:, self._touched_rows, :] = np.clip(
+                        self.w[:, self._touched_rows, :], self.wmin, self.wmax
+                    )
+            for variant, mask in self._touched_row_variants:
+                self.w[variant][mask, :] = np.clip(
+                    self.w[variant][mask, :], self.wmin, self.wmax
+                )
+            for variant, mask in self._touched_cols:
+                if self.shared:
+                    self.w[:, mask] = np.clip(self.w[:, mask], self.wmin, self.wmax)
+                else:
+                    self.w[variant][:, mask] = np.clip(
+                        self.w[variant][:, mask], self.wmin, self.wmax
+                    )
+        self._touched_rows = None
+        self._touched_row_variants = []
+        self._touched_cols = []
+
+    def normalize(self) -> None:
+        """Per-target weight normalisation, mirroring ``Connection.normalize``."""
+        if self.norm is None:
+            return
+        if self.shared:
+            totals = self.w.sum(axis=0)
+            totals[totals == 0] = 1.0
+            self.w *= self.norm / totals
+        else:
+            totals = self.w.sum(axis=1)
+            totals[totals == 0] = 1.0
+            self.w *= (self.norm / totals)[:, None, :]
+        self._full_clamp = True
+
+    def variant_weights(self, variant: int) -> np.ndarray:
+        """The weight matrix of one variant (a copy-free view when stacked)."""
+        if self.shared:
+            return self.w
+        return self.w[variant]
+
+
+# --------------------------------------------------------------------------
+# Monitors.
+# --------------------------------------------------------------------------
+
+
+class BatchedSpikeMonitor:
+    """Spike recorder over a batched layer.
+
+    ``counts_only=True`` accumulates per-lane spike counts without storing
+    the raster (what the classification pipeline needs); otherwise the full
+    ``(time_steps, V|1, E, n)`` raster is kept in a preallocated buffer.
+    """
+
+    def __init__(self, layer_name: str, *, counts_only: bool = False) -> None:
+        self.layer_name = layer_name
+        self.counts_only = counts_only
+        self._counts: Optional[np.ndarray] = None
+        self._buffer: Optional[np.ndarray] = None
+        self._length = 0
+
+    def reserve(self, time_steps: int, layer: _LayerBatch) -> None:
+        """Size the buffers for a run of ``time_steps`` steps."""
+        shape = layer.state_shape(layer._examples)
+        if self.counts_only:
+            if self._counts is None or self._counts.shape != shape:
+                self._counts = np.zeros(shape, dtype=np.int64)
+            return
+        if (
+            self._buffer is None
+            or self._buffer.shape[1:] != shape
+            or self._buffer.shape[0] < self._length + time_steps
+        ):
+            if self._buffer is not None and self._buffer.shape[1:] != shape:
+                self._length = 0  # lane layout changed; previous records are void
+            capacity = self._length + int(time_steps)
+            buffer = np.zeros((capacity,) + shape, dtype=bool)
+            if self._length:
+                buffer[: self._length] = self._buffer[: self._length]
+            self._buffer = buffer
+
+    def record(self, layer: _LayerBatch) -> None:
+        if self.counts_only:
+            if self._counts is None:
+                self.reserve(0, layer)
+            self._counts += layer.spikes
+            return
+        if self._buffer is None or self._length >= self._buffer.shape[0]:
+            grow = max(64, self._length)
+            self.reserve(grow, layer)
+        self._buffer[self._length] = layer.spikes
+        self._length += 1
+
+    def spike_counts(self) -> np.ndarray:
+        """Per-lane spike counts, shape ``(V|1, E, n)``."""
+        if self.counts_only:
+            if self._counts is None:
+                return np.zeros((0, 0, 0), dtype=np.int64)
+            return self._counts.copy()
+        if self._length == 0:
+            return np.zeros((0, 0, 0), dtype=np.int64)
+        return self._buffer[: self._length].sum(axis=0)
+
+    def raster(self, variant: int = 0, example: int = 0) -> np.ndarray:
+        """One lane's raster, shape ``(time_steps, n)`` (raster mode only)."""
+        if self.counts_only:
+            raise ValueError("raster() is unavailable on a counts-only monitor")
+        if self._length == 0:
+            return np.zeros((0, 0), dtype=bool)
+        lanes = self._buffer.shape[1]
+        return self._buffer[: self._length, min(variant, lanes - 1), example].copy()
+
+    def reset(self) -> None:
+        self._length = 0
+        if self._counts is not None:
+            self._counts.fill(0)
+
+
+class BatchedStateMonitor:
+    """Records a state variable (``v``, ``theta``, ``traces``) per lane."""
+
+    _VARIABLES = {"v": "v", "theta": "theta", "traces": "traces"}
+
+    def __init__(self, layer_name: str, variable: str) -> None:
+        if variable not in self._VARIABLES:
+            raise ValueError(
+                f"variable must be one of {sorted(self._VARIABLES)}, got {variable!r}"
+            )
+        self.layer_name = layer_name
+        self.variable = variable
+        self._buffer: Optional[np.ndarray] = None
+        self._length = 0
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def reserve(self, time_steps: int, layer: _LayerBatch) -> None:
+        shape = np.broadcast_shapes(
+            layer.state_shape(layer._examples), getattr(layer, self.variable).shape
+        )
+        if (
+            self._buffer is None
+            or self._shape != shape
+            or self._buffer.shape[0] < self._length + time_steps
+        ):
+            capacity = self._length + int(time_steps)
+            buffer = np.zeros((capacity,) + shape)
+            if self._length and self._shape == shape:
+                buffer[: self._length] = self._buffer[: self._length]
+            else:
+                self._length = 0
+            self._buffer = buffer
+            self._shape = shape
+
+    def record(self, layer: _LayerBatch) -> None:
+        value = getattr(layer, self.variable)
+        if self._buffer is None or self._length >= self._buffer.shape[0]:
+            self.reserve(max(64, self._length or 1), layer)
+        self._buffer[self._length] = value
+        self._length += 1
+
+    def trace(self, variant: int = 0, example: int = 0) -> np.ndarray:
+        """One lane's recorded trace, shape ``(time_steps, n)``."""
+        if self._length == 0:
+            return np.zeros((0, 0))
+        lanes = self._buffer.shape[1]
+        examples = self._buffer.shape[2]
+        return self._buffer[
+            : self._length, min(variant, lanes - 1), min(example, examples - 1)
+        ].copy()
+
+    def reset(self) -> None:
+        self._length = 0
+
+
+# --------------------------------------------------------------------------
+# The batched network.
+# --------------------------------------------------------------------------
+
+
+class BatchedNetwork:
+    """V topology-sharing networks (× E lockstep examples) advanced together.
+
+    Build with :meth:`from_networks`; drive with :meth:`present` /
+    :meth:`run`, which mirror the scalar engine's semantics exactly (same
+    phase order per step: inputs → drive → integrate-and-fire → plasticity
+    → recording).
+    """
+
+    def __init__(self, dt: float) -> None:
+        self.dt = dt
+        self.layers: Dict[str, _LayerBatch] = {}
+        self.connections: Dict[Tuple[str, str], _ConnectionBatch] = {}
+        self.monitors: Dict[str, object] = {}
+        self.learning = True
+        self.variants = 1
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def from_networks(cls, networks: Sequence[Network]) -> "BatchedNetwork":
+        """Compile V scalar networks (variants of one topology) for lockstep.
+
+        Weights, corruptions (threshold scale, input gain) and adaptation
+        state are copied from each network, so the batch can be built from
+        freshly fault-injected networks (variant batching) or from a single
+        trained network (example batching with ``V == 1``).
+        """
+        assert_same_topology(networks)
+        if not reduction_contract_holds():
+            raise UnsupportedNetworkError(
+                "this NumPy's reduction order breaks the batched engine's "
+                "bit-parity contract; use the scalar engine"
+            )
+        reference = networks[0]
+        batched = cls(reference.dt)
+        batched.variants = len(networks)
+        for name in reference.layers:
+            batched.layers[name] = _LayerBatch(
+                name, [network.layers[name] for network in networks]
+            )
+        for key in reference.connections:
+            batched.connections[key] = _ConnectionBatch(
+                key,
+                batched.layers[key[0]],
+                batched.layers[key[1]],
+                [network.connections[key] for network in networks],
+            )
+        return batched
+
+    # ------------------------------------------------------------ composition
+    def add_monitor(self, name: str, monitor) -> object:
+        """Register a :class:`BatchedSpikeMonitor` / :class:`BatchedStateMonitor`."""
+        if monitor.layer_name not in self.layers:
+            raise KeyError(f"unknown layer {monitor.layer_name!r}")
+        self.monitors[name] = monitor
+        return monitor
+
+    def set_learning(self, learning: bool) -> None:
+        """Globally enable or disable plasticity and threshold adaptation."""
+        self.learning = bool(learning)
+
+    def normalize_connections(self) -> None:
+        """Apply per-target weight normalisation on every connection that has one."""
+        for connection in self.connections.values():
+            connection.normalize()
+
+    def reset_state_variables(self) -> None:
+        """Reset per-example dynamic state in every layer (theta persists)."""
+        for layer in self.layers.values():
+            layer.reset_state_variables()
+
+    def reset_monitors(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.reset()
+
+    # ------------------------------------------------------------- simulation
+    def _normalise_inputs(
+        self, inputs: Dict[str, np.ndarray], time_steps: Optional[int]
+    ) -> Tuple[Dict[str, np.ndarray], int, int]:
+        rasters: Dict[str, np.ndarray] = {}
+        examples: Optional[int] = None
+        for name, raster in inputs.items():
+            layer = self.layers.get(name)
+            if layer is None:
+                raise KeyError(f"unknown input layer {name!r}")
+            if not layer.is_input:
+                raise TypeError(f"layer {name!r} is not an input layer")
+            raster = np.asarray(raster, dtype=bool)
+            if raster.ndim == 2:
+                raster = raster[None, :, :]
+            if raster.ndim != 3 or raster.shape[2] != layer.n:
+                raise ValueError(
+                    f"input raster for {name!r} must have shape (time_steps, "
+                    f"{layer.n}) or (examples, time_steps, {layer.n}), got "
+                    f"{np.asarray(inputs[name]).shape}"
+                )
+            if examples is None:
+                examples = raster.shape[0]
+            elif raster.shape[0] != examples:
+                raise ValueError("all input rasters must batch the same examples")
+            if time_steps is None:
+                time_steps = raster.shape[1]
+            elif raster.shape[1] != time_steps:
+                raise ValueError(
+                    f"input raster for {name!r} must cover {time_steps} steps, "
+                    f"got {raster.shape[1]}"
+                )
+            rasters[name] = raster
+        if time_steps is None:
+            raise ValueError("time_steps must be given when there are no inputs")
+        return rasters, int(time_steps), examples or 1
+
+    def run(self, inputs: Dict[str, np.ndarray], time_steps: Optional[int] = None) -> None:
+        """Advance every lane in lockstep.
+
+        ``inputs`` maps input-layer names to spike rasters of shape
+        ``(time_steps, n)`` (one example, shared by every variant) or
+        ``(examples, time_steps, n)`` (example batching — learning must be
+        disabled, because the scalar reference trains sequentially).
+        """
+        rasters, time_steps, examples = self._normalise_inputs(inputs, time_steps)
+        if self.learning and examples > 1:
+            raise BatchedNetworkError(
+                "example batching requires learning to be disabled; the scalar "
+                "engine trains strictly one example at a time"
+            )
+        for layer in self.layers.values():
+            layer.ensure_state(examples)
+        for monitor in self.monitors.values():
+            monitor.reserve(time_steps, self.layers[monitor.layer_name])
+
+        non_input = [
+            (name, layer) for name, layer in self.layers.items() if not layer.is_input
+        ]
+        shape_by_layer = {
+            name: (self.variants, examples, layer.n) for name, layer in non_input
+        }
+        for t in range(time_steps):
+            # 1. Present the encoded input spikes.
+            for name, raster in rasters.items():
+                self.layers[name].set_input(raster[:, t, :])
+            # 2. Accumulate synaptic drive from the current source spikes.
+            drive = {name: np.zeros(shape) for name, shape in shape_by_layer.items()}
+            for (_, target), connection in self.connections.items():
+                if target in drive:
+                    contribution = connection.compute_drive()
+                    if contribution is not None:
+                        drive[target] += contribution
+            # 3. Integrate and fire.
+            for name, layer in non_input:
+                layer.step(drive[name], self.learning)
+            # 4. Plasticity.
+            if self.learning:
+                for connection in self.connections.values():
+                    connection.apply_update()
+            # 5. Recording.
+            for monitor in self.monitors.values():
+                monitor.record(self.layers[monitor.layer_name])
+
+    def present(
+        self,
+        inputs: Dict[str, np.ndarray],
+        *,
+        learning: bool,
+        normalize: bool = True,
+        time_steps: Optional[int] = None,
+    ) -> None:
+        """One presentation, mirroring ``DiehlAndCook2015.present`` for a batch."""
+        self.set_learning(learning)
+        if normalize and learning:
+            self.normalize_connections()
+        self.reset_monitors()
+        self.reset_state_variables()
+        self.run(inputs, time_steps)
+
+    # -------------------------------------------------------------- accessors
+    def variant_weights(self, key: Tuple[str, str], variant: int) -> np.ndarray:
+        """The weight matrix of ``variant`` on connection ``key``."""
+        return self.connections[key].variant_weights(variant)
+
+    def layer_theta(self, name: str, variant: int) -> np.ndarray:
+        """One variant's adaptation state on an adaptive layer."""
+        layer = self.layers[name]
+        if not layer.is_adaptive:
+            raise ValueError(f"layer {name!r} has no theta")
+        return layer.theta[variant, 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchedNetwork(variants={self.variants}, "
+            f"layers={list(self.layers)}, connections={list(self.connections)})"
+        )

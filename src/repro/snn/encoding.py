@@ -68,6 +68,49 @@ def poisson_encode(
     return draws < probability[None, :]
 
 
+def poisson_encode_batch(
+    images: np.ndarray,
+    *,
+    time_steps: int,
+    dt: float = 1.0,
+    max_rate: float = 63.75,
+    max_intensity: float = 255.0,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Poisson-encode a batch of images with one RNG call.
+
+    Bit-identical to encoding the images one by one through
+    :func:`poisson_encode` from the same generator: NumPy fills the batched
+    ``(n_images, time_steps, n_pixels)`` draw in C order, which consumes the
+    generator's stream exactly as ``n_images`` sequential per-image draws
+    would.  This is what lets the example-batched inference engine
+    (:mod:`repro.snn.batched`) share the scalar pipeline's encoding streams.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n_images, ...)``; each image is flattened.
+    time_steps, dt, max_rate, max_intensity, rng:
+        As in :func:`poisson_encode`.
+
+    Returns
+    -------
+    np.ndarray of bool, shape ``(n_images, time_steps, n_pixels)``.
+    """
+    check_positive(time_steps, "time_steps")
+    check_positive(dt, "dt")
+    check_positive(max_rate, "max_rate")
+    rng = ensure_rng(rng, name="poisson_encode_batch")
+    images = np.asarray(images, dtype=float)
+    if images.ndim < 2:
+        raise ValueError("poisson_encode_batch expects a batch of images")
+    flat = images.reshape(len(images), -1)
+    intensity = np.stack([_prepare_intensity(image, max_intensity) for image in flat])
+    probability = np.clip(max_rate * intensity * (dt * 1e-3), 0.0, 1.0)
+    draws = rng.random((len(flat), int(time_steps), flat.shape[1]))
+    return draws < probability[:, None, :]
+
+
 def bernoulli_encode(
     image: np.ndarray,
     *,

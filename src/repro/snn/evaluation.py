@@ -5,6 +5,21 @@ assigning each excitatory neuron to the digit class for which it fired most
 during a labelled assignment pass, then predicting new examples from the
 per-class average activity ("all activity") or the per-class firing
 proportions ("proportion weighting").
+
+The per-class reductions are scatter-based (``np.add.at`` / ``bincount``)
+instead of per-class Python loops, with outputs bit-identical to the loop
+formulation:
+
+* :func:`assign_labels` accumulates over the *example* axis, where NumPy's
+  strided-axis reduction and ``np.add.at`` visit examples in the same
+  sequential order — identical for any float input;
+* the prediction scores sum *integer-valued* spike counts (every in-repo
+  caller passes spike counts), and integer sums within double precision are
+  exact under any summation order;
+* :func:`proportion_weighting_prediction` multiplies counts by non-integer
+  proportions before reducing, so it hoists the weighting out of the loop
+  but keeps the reference's per-class contiguous reduction — the one place
+  a reordered sum could differ in the last bit.
 """
 
 from __future__ import annotations
@@ -14,6 +29,17 @@ from typing import Tuple
 import numpy as np
 
 from repro.utils.validation import check_positive
+
+
+def _check_class_indices(indices: np.ndarray, n_classes: int, name: str) -> None:
+    """Reject out-of-range class indices before they reach a scatter op.
+
+    The previous per-class loops silently skipped indices outside
+    ``[0, n_classes)``; ``np.add.at`` would instead wrap negatives and crash
+    on overflows, so the scatter formulation makes the contract explicit.
+    """
+    if indices.size and (indices.min() < 0 or indices.max() >= n_classes):
+        raise ValueError(f"{name} must lie in [0, {n_classes}), got out-of-range values")
 
 
 def assign_labels(
@@ -48,13 +74,14 @@ def assign_labels(
     if len(labels) != len(spike_counts):
         raise ValueError("labels and spike_counts must have the same length")
     check_positive(n_classes, "n_classes")
+    _check_class_indices(labels, n_classes, "labels")
 
     n_neurons = spike_counts.shape[1]
     rates = np.zeros((n_classes, n_neurons))
-    for cls in range(n_classes):
-        mask = labels == cls
-        if mask.any():
-            rates[cls] = spike_counts[mask].mean(axis=0)
+    np.add.at(rates, labels, spike_counts)
+    class_sizes = np.bincount(labels, minlength=n_classes)[:n_classes]
+    present = class_sizes > 0
+    rates[present] /= class_sizes[present, None]
     assignments = rates.argmax(axis=0)
     return assignments, rates
 
@@ -69,14 +96,15 @@ def all_activity_prediction(
     assignments = np.asarray(assignments, dtype=int)
     if spike_counts.ndim != 2:
         raise ValueError("spike_counts must be 2-D (examples x neurons)")
+    _check_class_indices(assignments, n_classes, "assignments")
     n_examples = spike_counts.shape[0]
-    scores = np.zeros((n_examples, n_classes))
-    for cls in range(n_classes):
-        mask = assignments == cls
-        count = int(mask.sum())
-        if count:
-            scores[:, cls] = spike_counts[:, mask].sum(axis=1) / count
-    return scores.argmax(axis=1)
+    scores = np.zeros((n_classes, n_examples))
+    np.add.at(scores, assignments, spike_counts.T)
+    class_counts = np.bincount(assignments, minlength=n_classes)[:n_classes]
+    populated = class_counts > 0
+    scores[populated] /= class_counts[populated, None]
+    scores[~populated] = 0.0
+    return scores.T.argmax(axis=1)
 
 
 def proportion_weighting_prediction(
@@ -93,13 +121,17 @@ def proportion_weighting_prediction(
     totals[totals == 0] = 1.0
     proportions = class_rates / totals  # (n_classes, n_neurons)
     n_examples = spike_counts.shape[0]
+    # Weight every neuron's activity by its own class's proportion once,
+    # instead of re-multiplying inside the per-class loop; the per-class
+    # reduction itself stays the reference's contiguous sum so the scores
+    # are bit-identical even for non-integer inputs.
+    neuron_index = np.arange(spike_counts.shape[1])
+    weighted = spike_counts * proportions[assignments, neuron_index][None, :]
+    class_counts = np.bincount(assignments, minlength=n_classes)[:n_classes]
     scores = np.zeros((n_examples, n_classes))
-    for cls in range(n_classes):
+    for cls in np.flatnonzero(class_counts):
         mask = assignments == cls
-        count = int(mask.sum())
-        if count:
-            weighted = spike_counts[:, mask] * proportions[cls, mask][None, :]
-            scores[:, cls] = weighted.sum(axis=1) / count
+        scores[:, cls] = weighted[:, mask].sum(axis=1) / class_counts[cls]
     return scores.argmax(axis=1)
 
 

@@ -16,7 +16,13 @@ from repro.utils.validation import check_positive
 
 
 class LearningRule:
-    """Base class for plasticity rules."""
+    """Base class for plasticity rules.
+
+    Rules that also implement ``update_batched(connection_batch)`` can run
+    on the lockstep engine of :mod:`repro.snn.batched`; the batched update
+    must be bit-identical, per variant, to :meth:`update` (the engine's
+    parity suite pins this).  Rules without it fall back to the scalar path.
+    """
 
     def update(self, connection) -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -26,6 +32,9 @@ class NoOp(LearningRule):
     """A rule that leaves the weights untouched (used during evaluation)."""
 
     def update(self, connection) -> None:
+        return None
+
+    def update_batched(self, connection) -> None:
         return None
 
 
@@ -54,6 +63,46 @@ class PostPre(LearningRule):
         # from recently active inputs.
         if self.nu_post and target.spikes.any():
             connection.w[:, target.spikes] += self.nu_post * source.traces[:, None]
+
+    def update_batched(self, connection) -> None:
+        """The same update over a variant batch (one image, V weight stacks).
+
+        Per-variant arithmetic is exactly :meth:`update`'s: the vectorised
+        depression subtracts the identical ``nu_pre * traces`` products from
+        the identical rows, and potentiation loops over the variants whose
+        post-synaptic neurons fired, applying the scalar expression.
+        """
+        source, target = connection.source_batch, connection.target_batch
+        w = connection.stacked_w
+        if self.nu_pre and source.spikes.any():
+            if source.uniform_across_variants:
+                mask = source.spikes[0, 0]
+                # target.traces is (V, 1, n_post): one broadcast subtraction
+                # applies every variant's scalar-path depression at once.
+                w[:, mask, :] -= self.nu_pre * target.traces
+                connection.touch_rows(mask)
+            else:
+                for variant in range(connection.batch_size):
+                    mask = source.spikes[variant, 0]
+                    if mask.any():
+                        w[variant][mask, :] -= (
+                            self.nu_pre * target.traces[variant, 0][None, :]
+                        )
+                        connection.touch_rows_variant(variant, mask)
+        if self.nu_post and target.spikes.any():
+            shared_values = None
+            if source.uniform_across_variants:
+                shared_values = self.nu_post * source.traces[0, 0][:, None]
+            for variant in range(connection.batch_size):
+                mask = target.spikes[variant, 0]
+                if not mask.any():
+                    continue
+                if shared_values is None:
+                    values = self.nu_post * source.traces[variant, 0][:, None]
+                else:
+                    values = shared_values
+                w[variant][:, mask] += values
+                connection.touch_cols(variant, mask)
 
 
 class WeightDependentPostPre(LearningRule):
@@ -84,3 +133,43 @@ class WeightDependentPostPre(LearningRule):
             connection.w[:, target.spikes] += (
                 self.nu_post * source.traces[:, None] * (wmax - cols) / span
             )
+
+    def update_batched(self, connection) -> None:
+        """Soft-bounded update over a variant batch (see ``PostPre``)."""
+        source, target = connection.source_batch, connection.target_batch
+        w = connection.stacked_w
+        wmin = connection.wmin if np.isfinite(connection.wmin) else 0.0
+        wmax = connection.wmax if np.isfinite(connection.wmax) else 1.0
+        span = max(wmax - wmin, 1e-12)
+        if self.nu_pre and source.spikes.any():
+            if source.uniform_across_variants:
+                mask = source.spikes[0, 0]
+                rows = w[:, mask, :]
+                w[:, mask, :] -= self.nu_pre * target.traces * (rows - wmin) / span
+                connection.touch_rows(mask)
+            else:
+                for variant in range(connection.batch_size):
+                    mask = source.spikes[variant, 0]
+                    if mask.any():
+                        rows = w[variant][mask, :]
+                        w[variant][mask, :] -= (
+                            self.nu_pre
+                            * target.traces[variant, 0][None, :]
+                            * (rows - wmin)
+                            / span
+                        )
+                        connection.touch_rows_variant(variant, mask)
+        if self.nu_post and target.spikes.any():
+            for variant in range(connection.batch_size):
+                mask = target.spikes[variant, 0]
+                if not mask.any():
+                    continue
+                if source.uniform_across_variants:
+                    traces = source.traces[0, 0]
+                else:
+                    traces = source.traces[variant, 0]
+                cols = w[variant][:, mask]
+                w[variant][:, mask] += (
+                    self.nu_post * traces[:, None] * (wmax - cols) / span
+                )
+                connection.touch_cols(variant, mask)

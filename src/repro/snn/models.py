@@ -16,10 +16,11 @@ this network.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Dict
 
 import numpy as np
 
-from repro.snn.learning import PostPre
+from repro.snn.learning import PostPre, WeightDependentPostPre
 from repro.snn.network import Network, SpikeMonitor
 from repro.snn.nodes import AdaptiveLIFNodes, InputNodes, LIFNodes
 from repro.snn.topology import (
@@ -182,3 +183,82 @@ class DiehlAndCook2015(Network):
         self.reset_state_variables()
         self.run({INPUT_LAYER: spike_raster})
         return self.excitatory_monitor.spike_counts()
+
+
+# --------------------------------------------------------------------------
+# Model-variant registry.
+#
+# Small builders covering every architecture/learning/threshold-convention
+# combination this package ships.  The batched-engine parity suite
+# (tests/test_snn_batched.py) and the SNN hot-path benchmark iterate this
+# registry, so a new model added here is automatically held to the
+# batched-vs-scalar bit-parity contract.
+# --------------------------------------------------------------------------
+
+
+def _diehl_cook_variant(threshold_convention: str) -> Callable[[SeedLike], Network]:
+    def build(rng: SeedLike = None) -> Network:
+        parameters = DiehlAndCookParameters(
+            n_inputs=36,
+            n_neurons=12,
+            norm=30.0,
+            threshold_convention=threshold_convention,
+        )
+        return DiehlAndCook2015(parameters, rng=rng)
+
+    return build
+
+
+def _lif_feedforward(rng: SeedLike = None) -> Network:
+    """A plain LIF readout driven by a plastic all-to-all projection."""
+    generator = ensure_rng(rng, name="lif_feedforward")
+    network = Network()
+    source = network.add_layer("input", InputNodes(24))
+    target = network.add_layer("readout", LIFNodes(8))
+    network.add_connection(
+        "input",
+        "readout",
+        Connection(
+            source,
+            target,
+            w=12.0 * generator.random((24, 8)),
+            wmin=0.0,
+            wmax=12.0,
+            norm=40.0,
+            update_rule=PostPre(nu_pre=1e-3, nu_post=1e-2),
+        ),
+    )
+    network.add_monitor("readout_spikes", SpikeMonitor("readout"))
+    return network
+
+
+def _weight_dependent_feedforward(rng: SeedLike = None) -> Network:
+    """The soft-bounded STDP variant over an adaptive-threshold readout."""
+    generator = ensure_rng(rng, name="weight_dependent")
+    network = Network()
+    source = network.add_layer("input", InputNodes(24))
+    target = network.add_layer("readout", AdaptiveLIFNodes(8))
+    network.add_connection(
+        "input",
+        "readout",
+        Connection(
+            source,
+            target,
+            w=12.0 * generator.random((24, 8)),
+            wmin=0.0,
+            wmax=12.0,
+            norm=40.0,
+            update_rule=WeightDependentPostPre(nu_pre=1e-3, nu_post=1e-2),
+        ),
+    )
+    network.add_monitor("readout_spikes", SpikeMonitor("readout"))
+    return network
+
+
+#: name -> builder(rng) for every registered model variant.
+MODEL_VARIANTS: Dict[str, Callable[[SeedLike], Network]] = {
+    "diehl_cook_signed_value": _diehl_cook_variant("signed_value"),
+    "diehl_cook_rest_gap": _diehl_cook_variant("rest_gap"),
+    "lif_feedforward_postpre": _lif_feedforward,
+    "adaptive_weight_dependent": _weight_dependent_feedforward,
+}

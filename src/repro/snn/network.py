@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -11,57 +11,89 @@ from repro.snn.topology import Connection
 from repro.utils.validation import check_positive
 
 
-class SpikeMonitor:
-    """Records the spike raster of one layer."""
+class _BufferedMonitor:
+    """Base recorder writing into a preallocated ``(capacity, n)`` buffer.
+
+    The buffer is sized up front from the run's ``time_steps`` (see
+    :meth:`Network.run`, which calls :meth:`reserve`) instead of growing a
+    Python list that is re-stacked on every read; standalone ``record()``
+    calls still work through the growth fallback.  ``reset()`` keeps the
+    allocation, so monitors re-used across presentations (the pipeline's
+    per-example loop) never reallocate.
+    """
+
+    _dtype: type = float
 
     def __init__(self, layer_name: str) -> None:
         self.layer_name = layer_name
-        self._records: List[np.ndarray] = []
+        self._buffer: Optional[np.ndarray] = None
+        self._length = 0
+
+    def reserve(self, time_steps: int, nodes: Nodes) -> None:
+        """Guarantee capacity for ``time_steps`` further records."""
+        needed = self._length + max(int(time_steps), 1)
+        if (
+            self._buffer is not None
+            and self._buffer.shape[1] != nodes.n
+            and self._length
+        ):
+            raise ValueError(
+                f"monitor on {self.layer_name!r} saw layers of different sizes"
+            )
+        if self._buffer is None or self._buffer.shape[1] != nodes.n:
+            self._buffer = np.zeros((needed, nodes.n), dtype=self._dtype)
+        elif self._buffer.shape[0] < needed:
+            grown = np.zeros(
+                (max(needed, 2 * self._buffer.shape[0]), nodes.n), dtype=self._dtype
+            )
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+
+    def _append(self, values: np.ndarray, nodes: Nodes) -> None:
+        if self._buffer is None or self._length >= self._buffer.shape[0]:
+            self.reserve(max(64, self._length), nodes)
+        self._buffer[self._length] = values
+        self._length += 1
+
+    def get(self) -> np.ndarray:
+        """Recorded window of shape ``(time_steps, n_neurons)``."""
+        if self._length == 0:
+            return np.zeros((0, 0), dtype=self._dtype)
+        return self._buffer[: self._length].copy()
+
+    def reset(self) -> None:
+        """Discard all recorded data (the buffer is kept for reuse)."""
+        self._length = 0
+
+
+class SpikeMonitor(_BufferedMonitor):
+    """Records the spike raster of one layer."""
+
+    _dtype = bool
 
     def record(self, nodes: Nodes) -> None:
         """Store a copy of the layer's current spikes."""
-        self._records.append(nodes.spikes.copy())
-
-    def get(self) -> np.ndarray:
-        """Spike raster of shape ``(time_steps, n_neurons)``."""
-        if not self._records:
-            return np.zeros((0, 0), dtype=bool)
-        return np.stack(self._records)
+        self._append(nodes.spikes, nodes)
 
     def spike_counts(self) -> np.ndarray:
         """Total spikes per neuron over the recorded window."""
-        raster = self.get()
-        if raster.size == 0:
+        if self._length == 0:
             return np.zeros(0, dtype=int)
-        return raster.sum(axis=0)
-
-    def reset(self) -> None:
-        """Discard all recorded data."""
-        self._records.clear()
+        return self._buffer[: self._length].sum(axis=0)
 
 
-class StateMonitor:
+class StateMonitor(_BufferedMonitor):
     """Records an arbitrary state variable (e.g. ``v`` or ``theta``) of a layer."""
 
+    _dtype = float
+
     def __init__(self, layer_name: str, variable: str) -> None:
-        self.layer_name = layer_name
+        super().__init__(layer_name)
         self.variable = variable
-        self._records: List[np.ndarray] = []
 
     def record(self, nodes: Nodes) -> None:
         """Store a copy of the monitored variable."""
-        value = getattr(nodes, self.variable)
-        self._records.append(np.array(value, dtype=float, copy=True))
-
-    def get(self) -> np.ndarray:
-        """Recorded trace of shape ``(time_steps, n_neurons)``."""
-        if not self._records:
-            return np.zeros((0, 0))
-        return np.stack(self._records)
-
-    def reset(self) -> None:
-        """Discard all recorded data."""
-        self._records.clear()
+        self._append(np.asarray(getattr(nodes, self.variable), dtype=float), nodes)
 
 
 class Network:
@@ -155,6 +187,13 @@ class Network:
             for name, nodes in self.layers.items()
             if not isinstance(nodes, InputNodes)
         ]
+
+        # Size the monitor buffers once for the whole run (custom monitors
+        # without reserve() still work via the record-time growth fallback).
+        for monitor in self.monitors.values():
+            reserve = getattr(monitor, "reserve", None)
+            if callable(reserve):
+                reserve(time_steps, self.layers[monitor.layer_name])
 
         for t in range(time_steps):
             # 1. Present the encoded input spikes.

@@ -13,6 +13,14 @@ matter for the fault-injection experiments:
 
 Units follow BindsNET/Diehl&Cook: membrane potentials in millivolts, time in
 milliseconds.
+
+These node groups are the *scalar reference dynamics*.  The lockstep
+batched engine (:mod:`repro.snn.batched`) mirrors the exact update
+expressions of :meth:`LIFNodes.step` / :meth:`AdaptiveLIFNodes.step` over
+stacked ``(variants, examples, n)`` state, and its contract is bit-identical
+spike rasters — when editing an update equation here, keep
+``repro.snn.batched._LayerBatch`` in sync (the parity suite in
+``tests/test_snn_batched.py`` fails loudly otherwise).
 """
 
 from __future__ import annotations

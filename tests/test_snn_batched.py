@@ -1,0 +1,314 @@
+"""Batched-vs-scalar SNN engine parity suite.
+
+Mirrors ``tests/test_analog_compiled.py`` one tier up: every model variant
+registered in :data:`repro.snn.models.MODEL_VARIANTS` is trained and
+evaluated on the scalar reference engine and on the lockstep batched engine
+(variant-batched and example-batched, learning on and off), and the results
+are compared for *bit-identical* equality — spike rasters, membrane traces,
+weights, adaptation state, spike counts and pipeline accuracies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.attacks import (
+    Attack1InputSpikeCorruption,
+    Attack2ExcitatoryThreshold,
+    Attack3InhibitoryThreshold,
+    Attack5GlobalSupply,
+)
+from repro.attacks.campaign import AttackCampaign
+from repro.core import ClassificationPipeline, ExperimentConfig
+from repro.snn import (
+    BatchedNetwork,
+    BatchedSpikeMonitor,
+    BatchedStateMonitor,
+    Connection,
+    InputNodes,
+    LIFNodes,
+    MODEL_VARIANTS,
+    Network,
+    SpikeMonitor,
+    StateMonitor,
+)
+from repro.snn.batched import (
+    BatchedNetworkError,
+    NetworkTopologyMismatchError,
+    reduction_contract_holds,
+    UnsupportedNetworkError,
+)
+
+#: Per-variant corruptions exercised against every model (nominal + two
+#: attacked parameter sets, the shape of a campaign grid).
+CORRUPTIONS = (
+    {"threshold_scale": 1.0, "input_gain": 1.0},
+    {"threshold_scale": 0.8, "input_gain": 1.1},
+    {"threshold_scale": 1.2, "input_gain": 0.9},
+)
+
+
+def corrupted_variants(builder, seed):
+    """One network per corruption, faults on the first LIF layer."""
+    networks = []
+    for corruption in CORRUPTIONS:
+        network = builder(seed)
+        for nodes in network.layers.values():
+            if isinstance(nodes, LIFNodes):
+                nodes.threshold_scale[:] = corruption["threshold_scale"]
+                nodes.input_gain[:] = corruption["input_gain"]
+                break
+        networks.append(network)
+    return networks
+
+
+def input_layer_name(network):
+    for name, nodes in network.layers.items():
+        if isinstance(nodes, InputNodes):
+            return name
+    raise AssertionError("model has no input layer")
+
+
+def spike_layer_name(network):
+    return next(iter(network.monitors.values())).layer_name
+
+
+def make_rasters(network, count, time_steps=40, seed=11):
+    rng = np.random.default_rng(seed)
+    n = network.layers[input_layer_name(network)].n
+    return [rng.random((time_steps, n)) < 0.25 for _ in range(count)]
+
+
+def scalar_reference(builder, seed, rasters_train, rasters_eval):
+    """Train/evaluate each corruption separately on the scalar engine."""
+    outputs = []
+    for variant, _ in enumerate(CORRUPTIONS):
+        network = corrupted_variants(builder, seed)[variant]
+        layer = spike_layer_name(network)
+        input_name = input_layer_name(network)
+        network.add_monitor("v_trace", StateMonitor(layer, "v"))
+        for raster in rasters_train:
+            network.set_learning(True)
+            for connection in network.connections.values():
+                connection.normalize()
+            network.reset_monitors()
+            network.reset_state_variables()
+            network.run({input_name: raster})
+        eval_rasters, eval_traces = [], []
+        for raster in rasters_eval:
+            network.set_learning(False)
+            network.reset_monitors()
+            network.reset_state_variables()
+            network.run({input_name: raster})
+            eval_rasters.append(network.monitors[f"{layer}_spikes"].get()
+                                if f"{layer}_spikes" in network.monitors
+                                else list(network.monitors.values())[0].get())
+            eval_traces.append(network.monitors["v_trace"].get())
+        outputs.append((network, eval_rasters, eval_traces))
+    return outputs
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_VARIANTS))
+class TestVariantAndExampleParity:
+    """Every registered model: variant-batched training + example-batched eval."""
+
+    def test_bitwise_parity(self, name):
+        builder = MODEL_VARIANTS[name]
+        template = builder(5)
+        rasters_train = make_rasters(template, 4)
+        rasters_eval = make_rasters(template, 3, seed=23)
+        input_name = input_layer_name(template)
+        layer = spike_layer_name(template)
+
+        references = scalar_reference(builder, 5, rasters_train, rasters_eval)
+
+        batched = BatchedNetwork.from_networks(corrupted_variants(builder, 5))
+        spikes = batched.add_monitor("spikes", BatchedSpikeMonitor(layer))
+        voltage = batched.add_monitor("v", BatchedStateMonitor(layer, "v"))
+        for raster in rasters_train:
+            batched.present({input_name: raster}, learning=True)
+
+        # Trained weights and adaptation state match every scalar variant.
+        for key in template.connections:
+            for variant, (reference, _, _) in enumerate(references):
+                assert np.array_equal(
+                    batched.variant_weights(key, variant),
+                    reference.connections[key].w,
+                ), f"{name}: weights diverged on {key} variant {variant}"
+        for variant, (reference, _, _) in enumerate(references):
+            nodes = reference.layers[layer]
+            if hasattr(nodes, "theta"):
+                assert np.array_equal(
+                    batched.layer_theta(layer, variant), nodes.theta
+                )
+
+        # Example-batched inference: all eval rasters at once, all variants.
+        batched.present(
+            {input_name: np.stack(rasters_eval)}, learning=False
+        )
+        for variant, (_, eval_rasters, eval_traces) in enumerate(references):
+            for example, (raster, trace) in enumerate(zip(eval_rasters, eval_traces)):
+                assert np.array_equal(spikes.raster(variant, example), raster)
+                assert np.array_equal(voltage.trace(variant, example), trace)
+        counts = spikes.spike_counts()
+        for variant, (_, eval_rasters, _) in enumerate(references):
+            per_example = np.stack([raster.sum(axis=0) for raster in eval_rasters])
+            assert np.array_equal(counts[variant], per_example)
+
+
+class TestPipelineParity:
+    """Engine choice never changes pipeline results — bit for bit."""
+
+    ATTACKS = [
+        None,
+        Attack1InputSpikeCorruption(theta_change=-0.2),
+        Attack2ExcitatoryThreshold(threshold_change=-0.2, fraction=0.5),
+        Attack3InhibitoryThreshold(threshold_change=0.2, fraction=1.0),
+        Attack5GlobalSupply(vdd=0.8),
+    ]
+
+    @pytest.fixture(scope="class")
+    def tiny_config(self):
+        return ExperimentConfig.tiny()
+
+    @pytest.fixture(scope="class")
+    def scalar_results(self, tiny_config):
+        pipeline = ClassificationPipeline(tiny_config, engine="scalar")
+        return [pipeline.run(attack) for attack in self.ATTACKS]
+
+    def test_auto_engine_resolves(self, tiny_config):
+        pipeline = ClassificationPipeline(tiny_config)
+        assert pipeline.engine == "auto"
+        expected = "batched" if reduction_contract_holds() else "scalar"
+        assert pipeline.resolved_engine == expected
+
+    def test_batched_inference_matches_scalar_runs(self, tiny_config, scalar_results):
+        pipeline = ClassificationPipeline(tiny_config, engine="batched")
+        for attack, reference in zip(self.ATTACKS, scalar_results):
+            result = pipeline.run(attack)
+            assert result.accuracy == reference.accuracy
+            assert result.mean_excitatory_spikes == reference.mean_excitatory_spikes
+            assert result.fault_descriptions == reference.fault_descriptions
+
+    def test_run_batch_matches_scalar_runs(self, tiny_config, scalar_results):
+        pipeline = ClassificationPipeline(tiny_config, engine="batched")
+        results = pipeline.run_batch(self.ATTACKS)
+        for result, reference in zip(results, scalar_results):
+            assert result.accuracy == reference.accuracy
+            assert result.mean_excitatory_spikes == reference.mean_excitatory_spikes
+            assert result.fault_descriptions == reference.fault_descriptions
+            assert result.attack_label == reference.attack_label
+        # The batch contained the baseline, so attacked results carry it.
+        baseline = results[0].accuracy
+        assert all(result.baseline_accuracy == baseline for result in results)
+
+    def test_example_chunking_is_invisible(self, tiny_config, scalar_results):
+        pipeline = ClassificationPipeline(
+            tiny_config, engine="batched", example_chunk=7
+        )
+        result = pipeline.run(self.ATTACKS[2])
+        assert result.accuracy == scalar_results[2].accuracy
+
+    def test_campaign_batched_dispatch_matches_serial(self, tiny_config):
+        batched = AttackCampaign(ClassificationPipeline(tiny_config))
+        scalar = AttackCampaign(
+            ClassificationPipeline(tiny_config, engine="scalar"), batch_runs=False
+        )
+        grid_b = batched.sweep_layer_threshold("inhibitory", (-0.2, 0.2), (0.0, 1.0))
+        grid_s = scalar.sweep_layer_threshold("inhibitory", (-0.2, 0.2), (0.0, 1.0))
+        assert np.array_equal(grid_b.accuracies, grid_s.accuracies)
+        assert grid_b.baseline_accuracy == grid_s.baseline_accuracy
+        assert batched.executor.dispatcher.batched_sweeps >= 1
+        assert scalar.executor.dispatcher.batched_sweeps == 0
+        modes = {t.worker_mode for t in batched.executor.stats.timings if not t.cached}
+        assert modes == {"batched"}
+
+
+class TestEngineGuards:
+    def test_reduction_contract_holds_here(self):
+        assert reduction_contract_holds()
+
+    def test_example_batching_requires_learning_off(self):
+        network = MODEL_VARIANTS["lif_feedforward_postpre"](0)
+        batched = BatchedNetwork.from_networks([network])
+        rasters = np.zeros((2, 5, network.layers["input"].n), dtype=bool)
+        with pytest.raises(BatchedNetworkError):
+            batched.present({"input": rasters}, learning=True)
+
+    def test_topology_mismatch_rejected(self):
+        a = MODEL_VARIANTS["lif_feedforward_postpre"](0)
+        b = MODEL_VARIANTS["adaptive_weight_dependent"](0)
+        with pytest.raises(NetworkTopologyMismatchError):
+            BatchedNetwork.from_networks([a, b])
+
+    def test_unsupported_rule_rejected(self):
+        class OddRule:
+            def update(self, connection):
+                return None
+
+        network = Network()
+        source = network.add_layer("input", InputNodes(4))
+        target = network.add_layer("out", LIFNodes(2))
+        network.add_connection(
+            "input",
+            "out",
+            Connection(source, target, w=np.ones((4, 2)), update_rule=OddRule()),
+        )
+        with pytest.raises(UnsupportedNetworkError):
+            BatchedNetwork.from_networks([network])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(BatchedNetworkError):
+            BatchedNetwork.from_networks([])
+
+    def test_input_raster_shape_validated(self):
+        network = MODEL_VARIANTS["lif_feedforward_postpre"](0)
+        batched = BatchedNetwork.from_networks([network])
+        with pytest.raises(ValueError):
+            batched.run({"input": np.zeros((5, 3), dtype=bool)})
+        with pytest.raises(KeyError):
+            batched.run({"missing": np.zeros((5, 24), dtype=bool)})
+
+    def test_rasters_survive_presentation(self):
+        # The engine must not mutate caller-owned rasters via state resets.
+        network = MODEL_VARIANTS["lif_feedforward_postpre"](0)
+        batched = BatchedNetwork.from_networks([network])
+        raster = np.ones((5, 24), dtype=bool)
+        batched.present({"input": raster}, learning=False)
+        batched.present({"input": raster}, learning=False)
+        assert raster.all()
+
+
+class TestScalarMonitorCompat:
+    """The batched monitors mirror the scalar monitors' count conventions."""
+
+    def test_counts_only_monitor_matches_raster_monitor(self):
+        network = MODEL_VARIANTS["lif_feedforward_postpre"](3)
+        raster = make_rasters(network, 1)[0]
+        scalar_counts = None
+        reference = MODEL_VARIANTS["lif_feedforward_postpre"](3)
+        reference.set_learning(False)
+        reference.reset_state_variables()
+        reference.run({"input": raster})
+        scalar_counts = reference.monitors["readout_spikes"].spike_counts()
+
+        batched = BatchedNetwork.from_networks([network])
+        counting = batched.add_monitor(
+            "counts", BatchedSpikeMonitor("readout", counts_only=True)
+        )
+        full = batched.add_monitor("raster", BatchedSpikeMonitor("readout"))
+        batched.present({"input": raster}, learning=False)
+        assert np.array_equal(counting.spike_counts()[0, 0], scalar_counts)
+        assert np.array_equal(full.spike_counts()[0, 0], scalar_counts)
+        with pytest.raises(ValueError):
+            counting.raster()
+
+    def test_scalar_spike_monitor_still_composes(self):
+        # Sanity: the rewritten scalar monitors behave like the originals.
+        monitor = SpikeMonitor("layer")
+        nodes = LIFNodes(3)
+        nodes.spikes = np.array([True, False, True])
+        monitor.record(nodes)
+        nodes.spikes = np.array([False, False, True])
+        monitor.record(nodes)
+        assert np.array_equal(monitor.spike_counts(), [1, 0, 2])
+        assert monitor.get().shape == (2, 3)

@@ -78,3 +78,113 @@ def test_validation_errors():
 
 def test_accuracy_simple_counts():
     assert classification_accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+
+# ---------------------------------------------------------------------------
+# Scatter-vectorisation regression: the per-class loops were replaced with
+# np.add.at / bincount reductions; these references are the previous loop
+# implementations, and the outputs must stay bit-identical on spike-count
+# data (integer-valued floats — what every in-repo caller passes).
+# ---------------------------------------------------------------------------
+
+
+def _reference_assign_labels(spike_counts, labels, n_classes):
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    n_neurons = spike_counts.shape[1]
+    rates = np.zeros((n_classes, n_neurons))
+    for cls in range(n_classes):
+        mask = labels == cls
+        if mask.any():
+            rates[cls] = spike_counts[mask].mean(axis=0)
+    return rates.argmax(axis=0), rates
+
+
+def _reference_all_activity(spike_counts, assignments, n_classes):
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    n_examples = spike_counts.shape[0]
+    scores = np.zeros((n_examples, n_classes))
+    for cls in range(n_classes):
+        mask = assignments == cls
+        count = int(mask.sum())
+        if count:
+            scores[:, cls] = spike_counts[:, mask].sum(axis=1) / count
+    return scores.argmax(axis=1)
+
+
+def _reference_proportion_weighting(spike_counts, assignments, class_rates, n_classes):
+    spike_counts = np.asarray(spike_counts, dtype=float)
+    class_rates = np.asarray(class_rates, dtype=float)
+    totals = class_rates.sum(axis=0)
+    totals[totals == 0] = 1.0
+    proportions = class_rates / totals
+    n_examples = spike_counts.shape[0]
+    scores = np.zeros((n_examples, n_classes))
+    for cls in range(n_classes):
+        mask = assignments == cls
+        count = int(mask.sum())
+        if count:
+            weighted = spike_counts[:, mask] * proportions[cls, mask][None, :]
+            scores[:, cls] = weighted.sum(axis=1) / count
+    return scores.argmax(axis=1)
+
+
+def spike_count_matrix(n_examples=120, n_neurons=50, n_classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 80, size=(n_examples, n_neurons)).astype(float)
+    labels = rng.integers(0, n_classes, size=n_examples)
+    return counts, labels
+
+
+class TestScatterVectorisationRegression:
+    def test_assign_labels_bit_identical(self):
+        counts, labels = spike_count_matrix()
+        assignments, rates = assign_labels(counts, labels, 10)
+        ref_assignments, ref_rates = _reference_assign_labels(counts, labels, 10)
+        assert np.array_equal(assignments, ref_assignments)
+        assert np.array_equal(rates, ref_rates)
+
+    def test_assign_labels_bit_identical_on_float_rates(self):
+        # The example-axis reduction is sequential in both formulations, so
+        # even non-integer inputs stay bit-identical.
+        rng = np.random.default_rng(4)
+        counts = rng.random((75, 33))
+        labels = rng.integers(0, 7, size=75)
+        _, rates = assign_labels(counts, labels, 7)
+        _, ref_rates = _reference_assign_labels(counts, labels, 7)
+        assert np.array_equal(rates, ref_rates)
+
+    def test_all_activity_bit_identical(self):
+        counts, labels = spike_count_matrix(seed=1)
+        assignments, _ = assign_labels(counts, labels, 10)
+        predictions = all_activity_prediction(counts, assignments, 10)
+        reference = _reference_all_activity(counts, assignments, 10)
+        assert np.array_equal(predictions, reference)
+
+    def test_proportion_weighting_bit_identical(self):
+        counts, labels = spike_count_matrix(seed=2)
+        assignments, rates = assign_labels(counts, labels, 10)
+        predictions = proportion_weighting_prediction(counts, assignments, rates, 10)
+        reference = _reference_proportion_weighting(counts, assignments, rates, 10)
+        assert np.array_equal(predictions, reference)
+
+    def test_out_of_range_labels_rejected(self):
+        # The loop formulation silently skipped stray labels; the scatter
+        # formulation makes the contract explicit instead of wrapping.
+        counts = np.ones((3, 4))
+        with pytest.raises(ValueError):
+            assign_labels(counts, np.array([0, 1, -1]), 2)
+        with pytest.raises(ValueError):
+            assign_labels(counts, np.array([0, 1, 2]), 2)
+        with pytest.raises(ValueError):
+            all_activity_prediction(counts, np.array([0, 5, 0, 1]), 2)
+
+    def test_empty_classes_stay_silent(self):
+        counts, _ = spike_count_matrix(n_examples=20, seed=3)
+        labels = np.zeros(20, dtype=int)  # only class 0 is ever seen
+        assignments, rates = assign_labels(counts, labels, 5)
+        ref_assignments, ref_rates = _reference_assign_labels(counts, labels, 5)
+        assert np.array_equal(rates, ref_rates)
+        assert np.array_equal(assignments, ref_assignments)
+        predictions = all_activity_prediction(counts, assignments, 5)
+        assert np.array_equal(predictions, _reference_all_activity(counts, assignments, 5))

@@ -1,0 +1,138 @@
+"""Regression tests for the preallocated monitor buffers.
+
+The monitors used to append per-step copies to a Python list and re-stack
+on every read; they now write into buffers preallocated from the run's
+``time_steps`` (with a growth fallback for standalone ``record()`` calls).
+These tests pin the observable behaviour to the list-append reference.
+"""
+
+import numpy as np
+
+from repro.snn import InputNodes, LIFNodes, SpikeMonitor, StateMonitor
+from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters
+
+
+class _ListAppendSpikeMonitor:
+    """The previous implementation, kept as the behavioural reference."""
+
+    def __init__(self):
+        self._records = []
+
+    def record(self, nodes):
+        self._records.append(nodes.spikes.copy())
+
+    def get(self):
+        if not self._records:
+            return np.zeros((0, 0), dtype=bool)
+        return np.stack(self._records)
+
+
+def drive_layer(steps=25, seed=0):
+    rng = np.random.default_rng(seed)
+    nodes = LIFNodes(6)
+    for _ in range(steps):
+        nodes.step(rng.random(6) * 30.0)
+        yield nodes
+
+
+class TestSpikeMonitorRegression:
+    def test_get_matches_list_append_reference(self):
+        monitor = SpikeMonitor("layer")
+        reference = _ListAppendSpikeMonitor()
+        for nodes in drive_layer():
+            monitor.record(nodes)
+            reference.record(nodes)
+        assert np.array_equal(monitor.get(), reference.get())
+        assert monitor.get().dtype == reference.get().dtype
+        assert np.array_equal(monitor.spike_counts(), reference.get().sum(axis=0))
+
+    def test_growth_fallback_beyond_reservation(self):
+        monitor = SpikeMonitor("layer")
+        nodes = LIFNodes(4)
+        monitor.reserve(2, nodes)
+        reference = _ListAppendSpikeMonitor()
+        rng = np.random.default_rng(3)
+        for _ in range(150):  # far beyond the reserved capacity
+            nodes.spikes = rng.random(4) < 0.4
+            monitor.record(nodes)
+            reference.record(nodes)
+        assert np.array_equal(monitor.get(), reference.get())
+
+    def test_reset_reuses_buffer_and_clears_data(self):
+        monitor = SpikeMonitor("layer")
+        nodes = LIFNodes(4)
+        nodes.spikes = np.array([True, False, True, False])
+        monitor.record(nodes)
+        buffer_before = monitor._buffer
+        monitor.reset()
+        assert monitor.get().size == 0
+        assert np.array_equal(monitor.spike_counts(), np.zeros(0, dtype=int))
+        nodes.spikes = np.array([False, True, False, True])
+        monitor.record(nodes)
+        assert monitor._buffer is buffer_before  # no reallocation on reuse
+        assert np.array_equal(monitor.get(), [[False, True, False, True]])
+
+    def test_empty_monitor_shapes(self):
+        monitor = SpikeMonitor("layer")
+        assert monitor.get().shape == (0, 0)
+        assert monitor.get().dtype == bool
+        assert monitor.spike_counts().shape == (0,)
+
+
+class TestStateMonitorRegression:
+    def test_traces_match_reference_and_are_copies(self):
+        monitor = StateMonitor("layer", "v")
+        reference = []
+        for nodes in drive_layer(steps=15, seed=7):
+            monitor.record(nodes)
+            reference.append(nodes.v.copy())
+        got = monitor.get()
+        assert np.array_equal(got, np.stack(reference))
+        got[0, 0] = 1e9  # mutating the returned array must not leak back
+        assert monitor.get()[0, 0] != 1e9
+
+    def test_records_non_membrane_variables(self):
+        monitor = StateMonitor("layer", "traces")
+        nodes = LIFNodes(3)
+        nodes.traces = np.array([0.5, 0.25, 0.0])
+        monitor.record(nodes)
+        assert np.array_equal(monitor.get(), [[0.5, 0.25, 0.0]])
+
+
+class TestNetworkIntegration:
+    def test_network_run_preallocates_exact_window(self):
+        parameters = DiehlAndCookParameters(n_inputs=9, n_neurons=5)
+        network = DiehlAndCook2015(parameters, rng=0)
+        raster = np.random.default_rng(1).random((30, 9)) < 0.4
+        counts = network.present(raster, learning=True)
+        assert network.excitatory_monitor.get().shape == (30, 5)
+        assert np.array_equal(counts, network.excitatory_monitor.get().sum(axis=0))
+        # A second presentation reuses the same buffer.
+        buffer = network.excitatory_monitor._buffer
+        network.present(raster, learning=False)
+        assert network.excitatory_monitor._buffer is buffer
+        assert network.excitatory_monitor.get().shape == (30, 5)
+
+    def test_monitor_without_reserve_still_works_via_network(self):
+        # Custom monitors lacking reserve() must keep working.
+        class MinimalMonitor:
+            layer_name = "out"
+            seen = 0
+
+            def record(self, nodes):
+                self.seen += 1
+
+            def reset(self):
+                self.seen = 0
+
+        from repro.snn import Connection, Network
+
+        network = Network()
+        source = network.add_layer("in", InputNodes(1))
+        target = network.add_layer("out", LIFNodes(1))
+        network.add_connection(
+            "in", "out", Connection(source, target, w=np.array([[50.0]]))
+        )
+        monitor = network.add_monitor("m", MinimalMonitor())
+        network.run({"in": np.ones((4, 1), dtype=bool)})
+        assert monitor.seen == 4
