@@ -21,8 +21,14 @@ evaluations out over a process pool with result caching and timing, and the
 :mod:`repro.figures` (the registry of every figure as a
 :class:`~repro.figures.FigureSpec`), :mod:`repro.store` (schema-versioned
 JSON+NPZ artifacts with provenance, plus the persistent executor cache) and
-:mod:`repro.cli` (``python -m repro list|run|report``) — see
-``docs/architecture.md`` for the full picture.
+:mod:`repro.cli` (``python -m repro list|run|report`` and
+``python -m repro scenarios list|run|report``).  One level above the
+figures, :mod:`repro.scenarios` is the declarative threat-scenario
+subsystem: an attack DSL (:class:`~repro.scenarios.ScenarioSpec`,
+YAML/JSON-loadable), composite/compound faults, adaptive bisection
+search, a built-in scenario library and a sharded, resumable runner —
+see ``docs/architecture.md`` and ``docs/scenarios.md`` for the full
+picture.
 """
 
 from repro import (
@@ -35,12 +41,13 @@ from repro import (
     exec,
     figures,
     neurons,
+    scenarios,
     snn,
     store,
     utils,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analog",
@@ -53,6 +60,7 @@ __all__ = [
     "core",
     "exec",
     "figures",
+    "scenarios",
     "store",
     "utils",
 ]

@@ -25,6 +25,7 @@ from repro.attacks.attacks import (
     Attack3InhibitoryThreshold,
     Attack4BothLayerThreshold,
     Attack5GlobalSupply,
+    CompositeAttack,
     NoAttack,
     PowerAttack,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "Attack3InhibitoryThreshold",
     "Attack4BothLayerThreshold",
     "Attack5GlobalSupply",
+    "CompositeAttack",
     "AttackCampaign",
     "AttackOutcome",
     "AttackSweep",

@@ -168,6 +168,53 @@ class Attack4BothLayerThreshold(PowerAttack):
 
 
 @dataclass
+class CompositeAttack(PowerAttack):
+    """Several attacks applied to the *same* network as one compound fault.
+
+    The scenario subsystem (:mod:`repro.scenarios`) uses this to express
+    compound threat configurations the paper never swept — e.g. a driver
+    VDD droop (input-gain corruption) *while* a laser glitch shifts a layer
+    threshold.  Members are applied in order; every member's fault records
+    are concatenated, so reporting and reversal see the full compound fault.
+
+    The label concatenates the member labels.  The executor's cache key is
+    content-based over every member field, so distinct combinations never
+    alias; the pipeline's fault-site RNG stream is keyed on the label —
+    combinations whose labels coincide (labels omit e.g. the site-selection
+    mode) share a stream but consume it through their own injection paths,
+    so results stay a pure function of the attack content.
+    """
+
+    name: str = "composite_attack"
+    description: str = "Compound supply fault combining several attacks."
+    attacks: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.attacks:
+            raise ValueError("a composite attack needs at least one member attack")
+        for member in self.attacks:
+            if not isinstance(member, PowerAttack):
+                raise TypeError(
+                    f"composite members must be PowerAttack instances, "
+                    f"got {type(member).__name__}"
+                )
+
+    def apply(self, injector: FaultInjector) -> List[FaultRecord]:
+        records: List[FaultRecord] = []
+        for member in self.attacks:
+            records.extend(member.apply(injector))
+        return records
+
+    @property
+    def is_black_box(self) -> bool:
+        """A composite is black box only if every member is."""
+        return all(member.is_black_box for member in self.attacks)
+
+    def label(self) -> str:
+        return "+".join(member.label() for member in self.attacks)
+
+
+@dataclass
 class Attack5GlobalSupply(PowerAttack):
     """Attack 5 — black-box manipulation of the shared system supply.
 

@@ -1,6 +1,6 @@
-"""``python -m repro`` — list, run and report paper-figure reproductions.
+"""``python -m repro`` — figures, scenarios, artifacts and reports.
 
-Three subcommands:
+Figure subcommands:
 
 ``list``
     Show every registered figure with its tier and paper-claim count.
@@ -13,14 +13,33 @@ Three subcommands:
     and the numbers are bit-identical.
 ``report``
     Render the artifacts in a results directory as comparison tables
-    against the paper's published numbers.
+    against the paper's published numbers.  Exits nonzero when an
+    artifact is missing its arrays or fails schema/digest validation.
+
+Scenario subcommands (the declarative threat-scenario subsystem,
+:mod:`repro.scenarios`):
+
+``scenarios list``
+    Show every registered scenario (family, strategy, variant count).
+``scenarios run``
+    Evaluate scenarios (or ``--all``) with the same persistence and
+    resume guarantees as figures, plus ``--shard i/n`` to split a long
+    campaign across independent invocations: each shard writes its own
+    cache file, and whichever invocation finds the union complete writes
+    the merged artifact — bit-identical to an unsharded run.  ``--file``
+    loads additional scenario specs from YAML/JSON.
+``scenarios report``
+    Render stored scenario artifacts as summary tables.
 
 Examples::
 
     python -m repro list
     python -m repro run fig8 --scale smoke --workers 4 --out results/
-    python -m repro run --all --scale smoke --out results/
     python -m repro report results/
+    python -m repro scenarios list
+    python -m repro scenarios run --all --scale smoke --out results/
+    python -m repro scenarios run vdd_droop_fine --shard 0/4 --out results/
+    python -m repro scenarios report results/
 """
 
 from __future__ import annotations
@@ -39,10 +58,13 @@ from repro.core.reporting import (
 from repro.figures import FigureContext, figure_names, get_figure, iter_figures
 from repro.store import (
     PersistentResultCache,
+    classify_artifact_json,
     git_revision,
-    is_figure_artifact,
     load_figure_result,
+    load_scenario_result,
+    open_shard_cache,
     save_figure_result,
+    save_scenario_result,
 )
 from repro.utils.tables import format_table
 
@@ -50,11 +72,49 @@ from repro.utils.tables import format_table
 CACHE_FILENAME = "cache.json"
 
 
+def _add_scale_workers_engine(parser: argparse.ArgumentParser) -> None:
+    """The execution flags shared by ``run`` and ``scenarios run``."""
+    parser.add_argument(
+        "--scale",
+        choices=sorted(ExperimentConfig.presets()),
+        default=None,
+        help="experiment scale preset (default: REPRO_SCALE or 'benchmark')",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for pipeline sweeps (0/1 = serial)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "batched", "scalar"),
+        default=None,
+        help="execution engine for BOTH tiers: the SNN tier ('scalar' = "
+        "per-example reference, 'batched' = lockstep engine, 'auto' = "
+        "batched when available; bit-identical results either way) and "
+        "the circuit tier ('scalar' forces the per-device reference "
+        "MNA path, otherwise the compiled/batched engine, identical "
+        "within solver tolerance)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="artifact directory (default: results/)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-item tables"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Reproduce the paper's figures with persistent artifacts.",
+        description="Reproduce the paper's figures and run declarative "
+        "attack scenarios, with persistent artifacts.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -68,39 +128,52 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"figure names ({', '.join(figure_names())})",
     )
     run.add_argument("--all", action="store_true", help="run every registered figure")
-    run.add_argument(
-        "--scale",
-        choices=sorted(ExperimentConfig.presets()),
-        default=None,
-        help="experiment scale preset (default: REPRO_SCALE or 'benchmark')",
-    )
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        metavar="N",
-        help="worker processes for pipeline sweeps (0/1 = serial)",
-    )
-    run.add_argument(
-        "--engine",
-        choices=("auto", "batched", "scalar"),
-        default="auto",
-        help="SNN execution engine (results are engine-independent; "
-        "'scalar' is the per-example reference, 'batched' the lockstep "
-        "engine, 'auto' picks batched when available)",
-    )
-    run.add_argument(
-        "--out",
-        default="results",
-        metavar="DIR",
-        help="artifact directory (default: results/)",
-    )
-    run.add_argument(
-        "--quiet", action="store_true", help="suppress the per-figure tables"
-    )
+    _add_scale_workers_engine(run)
 
     report = sub.add_parser("report", help="compare stored artifacts to the paper")
     report.add_argument("results_dir", metavar="DIR", help="artifact directory")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="declarative attack scenarios (list/run/report)"
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="list every registered scenario")
+    scen_list.add_argument(
+        "--tag", default=None, help="only scenarios carrying this tag"
+    )
+
+    scen_run = scen_sub.add_parser(
+        "run", help="evaluate scenarios and persist artifacts"
+    )
+    scen_run.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO", help="scenario names"
+    )
+    scen_run.add_argument(
+        "--all", action="store_true", help="run every registered scenario"
+    )
+    scen_run.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="load additional scenario specs from a YAML/JSON file "
+        "(repeatable; loaded scenarios are addressable by name)",
+    )
+    scen_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="i/n",
+        help="evaluate only shard i of an n-way split of each scenario's "
+        "variant list (adaptive scenarios are whole-scenario assigned); "
+        "run every shard, then any invocation merges the artifacts",
+    )
+    _add_scale_workers_engine(scen_run)
+
+    scen_report = scen_sub.add_parser(
+        "report", help="summarise stored scenario artifacts"
+    )
+    scen_report.add_argument("results_dir", metavar="DIR", help="artifact directory")
     return parser
 
 
@@ -151,7 +224,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     git_sha = git_revision()
 
     with FigureContext(
-        config, workers=args.workers, cache=cache, engine=args.engine
+        config, workers=args.workers, cache=cache, engine=args.engine or "auto"
     ) as context:
         for name in names:
             spec = get_figure(name)
@@ -172,22 +245,248 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: classify_artifact_json kinds the report commands count as failures.
+_BROKEN_JSON = {
+    "corrupt": "not valid JSON",
+    "unreadable": "cannot read file",
+}
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     results_dir = Path(args.results_dir)
     if not results_dir.is_dir():
         print(f"{results_dir} is not a directory", file=sys.stderr)
         return 1
     documents = []
+    failures: List[str] = []
     for json_path in sorted(results_dir.glob("*.json")):
-        if json_path.name == CACHE_FILENAME or not is_figure_artifact(json_path):
+        if json_path.name.startswith("cache"):
             continue
-        documents.append(load_figure_result(json_path).document)
-    if not documents:
+        kind = classify_artifact_json(json_path)
+        if kind in _BROKEN_JSON:
+            failures.append(f"{json_path.name}: {_BROKEN_JSON[kind]}")
+            continue
+        if kind != "figure":
+            continue
+        try:
+            documents.append(load_figure_result(json_path).document)
+        except (OSError, ValueError) as error:
+            failures.append(f"{json_path.name}: {error}")
+    if not documents and not failures:
         print(f"no figure artifacts found in {results_dir}", file=sys.stderr)
         return 1
-    print(format_artifact_summary(documents))
-    print()
-    print(format_paper_comparison(documents))
+    if documents:
+        print(format_artifact_summary(documents))
+        print()
+        print(format_paper_comparison(documents))
+    if failures:
+        # The partial tables above are still useful, but a missing or
+        # corrupt artifact must fail the invocation (CI depends on it).
+        print(
+            f"{len(failures)} artifact(s) failed to load:", file=sys.stderr
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Scenario subcommands.
+# --------------------------------------------------------------------------
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import CompositeScenario, iter_scenarios
+
+    rows = []
+    for scenario in iter_scenarios():
+        if args.tag and args.tag not in scenario.tags:
+            continue
+        if isinstance(scenario, CompositeScenario):
+            family = f"composite/{scenario.mode}"
+        else:
+            family = scenario.family
+        if scenario.strategy == "bisect":
+            size = f"<= 2+log2({len(next(iter(scenario.grid.values())))})"
+        else:
+            size = str(len(scenario.variants()))
+        rows.append(
+            [
+                scenario.name,
+                family,
+                scenario.strategy,
+                size,
+                ",".join(scenario.tags),
+                scenario.title or scenario.description,
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "family", "strategy", "runs", "tags", "title"],
+            rows,
+            title=f"Registered attack scenarios ({len(rows)})",
+        )
+    )
+    return 0
+
+
+def _resolve_scenarios(args: argparse.Namespace) -> List[str]:
+    from repro.scenarios import (
+        load_scenario_file,
+        register_scenario,
+        scenario_names,
+    )
+
+    for path in args.file:
+        try:
+            specs = load_scenario_file(path)
+        except (OSError, TypeError, ValueError, RuntimeError) as error:
+            raise SystemExit(f"failed to load scenario file {path}: {error}") from None
+        for spec in specs:
+            try:
+                register_scenario(spec)
+            except ValueError as error:
+                raise SystemExit(
+                    f"cannot register scenario from {path}: {error}"
+                ) from None
+    if args.all:
+        return scenario_names()
+    if not args.scenarios:
+        raise SystemExit(
+            "no scenarios given; name at least one "
+            "(see 'python -m repro scenarios list') or pass --all"
+        )
+    known = set(scenario_names())
+    unknown = [name for name in args.scenarios if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(scenario_names())}"
+        )
+    return list(args.scenarios)
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.exec.shard import FULL, ShardSpec
+    from repro.scenarios import ScenarioRunner, get_scenario
+
+    names = _resolve_scenarios(args)
+    shard = ShardSpec.parse(args.shard) if args.shard else FULL
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = open_shard_cache(out_dir, shard)
+    git_sha = git_revision()
+    pending = 0
+
+    with ScenarioRunner(
+        scale=args.scale,
+        workers=args.workers,
+        engine=args.engine,
+        cache=cache,
+        shard=shard,
+    ) as runner:
+        for name in names:
+            scenario = get_scenario(name)
+            config = runner.config_for(scenario)
+            print(
+                f"[{name}] {scenario.title or name} "
+                f"(scale {config.scale_name}, shard {shard})..."
+            )
+            result = runner.run(scenario)
+            if result.sharded_out:
+                print(f"[{name}] adaptive scenario owned by another shard; skipped")
+                continue
+            if not result.complete:
+                pending += 1
+                print(
+                    f"[{name}] shard slice done in {result.wall_seconds:.2f} s "
+                    f"({result.executor_tasks} pipeline runs); waiting on "
+                    f"{result.missing} variant(s) from other shards — "
+                    "re-run unsharded (or any shard) after they finish to merge"
+                )
+                continue
+            paths = save_scenario_result(
+                scenario, result, out_dir, config=config, git_sha=git_sha
+            )
+            if not args.quiet:
+                print(result.render())
+            print(
+                f"[{name}] done in {result.wall_seconds:.2f} s "
+                f"({result.executor_tasks} pipeline runs, "
+                f"{result.executor_cache_hits} cache hits) -> {paths.json_path}"
+            )
+    if pending:
+        print(f"{pending} scenario(s) await results from other shards")
+    return 0
+
+
+def _cmd_scenarios_report(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"{results_dir} is not a directory", file=sys.stderr)
+        return 1
+    rows = []
+    failures: List[str] = []
+    details: List[str] = []
+    for json_path in sorted(results_dir.glob("scenario-*.json")):
+        kind = classify_artifact_json(json_path)
+        if kind in _BROKEN_JSON:
+            failures.append(f"{json_path.name}: {_BROKEN_JSON[kind]}")
+            continue
+        if kind != "scenario":
+            continue
+        try:
+            stored = load_scenario_result(json_path)
+        except (OSError, ValueError) as error:
+            failures.append(f"{json_path.name}: {error}")
+            continue
+        document = stored.document
+        metrics = stored.metrics
+        provenance = stored.provenance
+        if document.get("strategy") == "bisect":
+            if metrics.get("collapse_found"):
+                headline = f"collapse at {metrics.get('collapse_value'):g}"
+            else:
+                headline = "no collapse"
+            headline += f" ({int(metrics.get('n_probes', 0))} probes)"
+        else:
+            headline = (
+                f"worst degradation "
+                f"{metrics.get('worst_relative_degradation', 0.0):+.1%}"
+            )
+        rows.append(
+            [
+                stored.scenario,
+                document.get("strategy", "grid"),
+                provenance.get("scale", "?"),
+                f"{metrics.get('baseline_accuracy', float('nan')):.4f}",
+                headline,
+            ]
+        )
+        for table in document.get("tables", []):
+            details.append(
+                format_table(table["headers"], table["rows"], title=table["title"])
+            )
+    if not rows and not failures:
+        print(f"no scenario artifacts found in {results_dir}", file=sys.stderr)
+        return 1
+    if rows:
+        print(
+            format_table(
+                ["scenario", "strategy", "scale", "baseline", "headline"],
+                rows,
+                title=f"Scenario campaign summary ({len(rows)} artifacts)",
+            )
+        )
+        for detail in details:
+            print()
+            print(detail)
+    if failures:
+        print(f"{len(failures)} artifact(s) failed to load:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -198,4 +497,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "scenarios":
+        if args.scenario_command == "list":
+            return _cmd_scenarios_list(args)
+        if args.scenario_command == "run":
+            return _cmd_scenarios_run(args)
+        return _cmd_scenarios_report(args)
     return _cmd_report(args)

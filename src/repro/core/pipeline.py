@@ -5,7 +5,12 @@ assignment and the evaluation — everything the attack figures need.  A power
 attack is modelled as a *persistent hardware fault*: it is injected before
 training and stays in place through training, label assignment and
 evaluation, matching the paper's "corrupt crucial training parameters"
-framing.
+framing.  Compound faults
+(:class:`~repro.attacks.attacks.CompositeAttack`, built by the scenario
+subsystem's product compositions) work identically: every member's faults
+are injected into the same fresh network before training starts, and the
+composite's concatenated label keeps the fault-site RNG stream and the
+executor cache key unique per member combination.
 
 Engine selection
 ----------------

@@ -21,7 +21,11 @@ from repro.defenses.bandgap_threshold import BandgapThresholdDefense
 from repro.defenses.sizing import SizingDefense, SizingSweepPoint
 from repro.defenses.comparator_neuron import ComparatorNeuronDefense
 from repro.defenses.dummy_detector import DetectionOutcome, DummyNeuronDetector
-from repro.defenses.evaluation import DefendedAccuracyPoint, DefenseAccuracyEvaluator
+from repro.defenses.evaluation import (
+    DefendedAccuracyPoint,
+    DefenseAccuracyEvaluator,
+    residual_defense_factors,
+)
 from repro.defenses.overhead import DefenseOverhead, overhead_report
 
 __all__ = [
@@ -36,4 +40,5 @@ __all__ = [
     "DetectionOutcome",
     "DefenseOverhead",
     "overhead_report",
+    "residual_defense_factors",
 ]

@@ -12,11 +12,60 @@ shares the baseline and parallelises across workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.attacks.attacks import Attack4BothLayerThreshold
 from repro.core.results import ExperimentResult
 from repro.exec.executor import SweepExecutor
+
+
+def residual_defense_factors(attack_vdd: float = 0.8) -> Dict[str, float]:
+    """Fraction of an attack-induced parameter change surviving each defense.
+
+    A factor of ``0.0`` means the defense removes the corruption entirely;
+    ``1.0`` means it is useless.  The factors are derived from the
+    circuit-tier defense models at the given attack supply voltage, so they
+    carry the same calibration the paper's Sec. V evaluation uses.  The
+    scenario subsystem (:mod:`repro.scenarios`) uses them to co-evaluate
+    "attack under defense" variants: the defended variant of an attack
+    scales the attacked parameter's excursion by the defense's factor.
+
+    Returns a mapping from defense name (``robust_driver``, ``sizing32``,
+    ``comparator``, ``bandgap``) to its residual factor.
+    """
+    from repro.defenses.bandgap_threshold import BandgapThresholdDefense
+    from repro.defenses.comparator_neuron import ComparatorNeuronDefense
+    from repro.defenses.robust_driver import RobustDriverDefense
+    from repro.defenses.sizing import SizingDefense
+
+    robust = RobustDriverDefense()
+    sizing = SizingDefense()
+    comparator = ComparatorNeuronDefense()
+    bandgap = BandgapThresholdDefense()
+
+    def _ratio(residual: float, undefended: float) -> float:
+        if undefended == 0.0:
+            return 0.0
+        return float(residual / undefended)
+
+    return {
+        "robust_driver": _ratio(
+            robust.residual_theta_change(attack_vdd),
+            robust.undefended_theta_scale(attack_vdd) - 1.0,
+        ),
+        "sizing32": _ratio(
+            sizing.threshold_change(32.0, attack_vdd),
+            sizing.threshold_change(1.0, attack_vdd),
+        ),
+        "comparator": _ratio(
+            comparator.threshold_scale(attack_vdd) - 1.0,
+            comparator.undefended_threshold_scale(attack_vdd) - 1.0,
+        ),
+        "bandgap": _ratio(
+            bandgap.residual_threshold_change(attack_vdd),
+            bandgap.undefended_threshold_scale(attack_vdd) - 1.0,
+        ),
+    }
 
 
 @dataclass

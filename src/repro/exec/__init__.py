@@ -20,6 +20,10 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   twin: a serial batch of attack evaluations (variants of one Diehl&Cook
   topology) trains and evaluates in one lockstep pass through the batched
   SNN engine (:mod:`repro.snn.batched`) instead of one full run per point.
+* :class:`~repro.exec.shard.ShardSpec` — deterministic ``i/n`` splitting of
+  a task list across independent invocations (the ``--shard`` flag of
+  ``python -m repro scenarios run``); the union of all shards is exactly
+  the full list, with no coordination needed.
 
 Parallel execution is bit-identical to serial execution: every pipeline run
 derives its random streams from ``(config.seed, attack label)`` alone, never
@@ -36,9 +40,12 @@ from repro.exec.executor import (
     TaskTiming,
     default_worker_count,
 )
+from repro.exec.shard import FULL, ShardSpec
 from repro.exec.snn_batch import PipelineBatchDispatcher
 
 __all__ = [
+    "FULL",
+    "ShardSpec",
     "CircuitSweepDispatcher",
     "PipelineBatchDispatcher",
     "ResultCache",

@@ -96,6 +96,7 @@ class ExecutionStats:
     batches: int = 0
 
     def record(self, timing: TaskTiming) -> None:
+        """Account one finished task (cached or freshly executed)."""
         self.timings.append(timing)
         if timing.cached:
             self.cache_hits += 1
@@ -227,6 +228,17 @@ class SweepExecutor:
     def run_attack(self, attack):
         """One attacked result (served from cache when already evaluated)."""
         return self.map([attack])[0]
+
+    def peek_results(self, attacks: Sequence) -> List:
+        """Cached results for ``attacks`` (input order) without executing.
+
+        Entries not in the cache come back as ``None``.  Sharded scenario
+        runs use this to assemble the merged artifact: every shard
+        evaluates its own slice, then any invocation can check — without
+        triggering work — whether the union of the persistent caches
+        already covers the full variant list.
+        """
+        return [self.cache.peek(self._cache_key(attack)) for attack in attacks]
 
     def map(self, attacks: Sequence) -> List:
         """Evaluate every attack in ``attacks`` and return aligned results.

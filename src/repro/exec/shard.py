@@ -1,0 +1,86 @@
+"""Deterministic sharding of sweep work across independent invocations.
+
+Long scenario campaigns (see :mod:`repro.scenarios`) are split across
+machines or CI jobs by giving every invocation the same task list and a
+shard coordinate ``i/n``: shard ``i`` evaluates every ``n``-th task starting
+at offset ``i``.  The assignment is a pure function of the task *order*, so
+any two processes given the same list agree on the split without
+coordination, and the union of all shards is exactly the full list.
+
+Interleaved (round-robin) assignment is used instead of contiguous blocks
+because sweep grids are usually ordered from mild to severe corruption:
+contiguous blocks would give one shard all the slow, severely-corrupted
+runs, while interleaving balances expected cost across shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard coordinate of an ``n``-way split (zero-based ``index``)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not (0 <= self.index < self.count):
+            raise ValueError(
+                f"shard index must be in [0, {self.count - 1}], got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"i/n"`` (e.g. ``"0/4"``) into a spec.
+
+        Raises :class:`ValueError` on malformed input, with the expected
+        format in the message.
+        """
+        parts = str(text).split("/")
+        if len(parts) != 2:
+            raise ValueError(f"shard must look like 'i/n' (e.g. '0/4'), got {text!r}")
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/n' with integer i and n, got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the 1-way split (every task belongs to this shard)."""
+        return self.count == 1
+
+    def select(self, items: Sequence[T]) -> List[T]:
+        """The subsequence of ``items`` assigned to this shard (interleaved)."""
+        return list(items[self.index :: self.count])
+
+    def owns_index(self, position: int) -> bool:
+        """Whether task number ``position`` of the full list is this shard's."""
+        return position % self.count == self.index
+
+    def owns_name(self, name: str) -> bool:
+        """Stable name-based assignment for *unsplittable* units of work.
+
+        Adaptive scenarios cannot split their probe sequence (each probe
+        depends on the previous result), so a whole scenario is assigned to
+        one shard by a stable hash of its name — identical across processes
+        and Python hash randomisation.
+        """
+        return zlib.crc32(name.encode("utf-8")) % self.count == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+#: The trivial 1-way split, used when no ``--shard`` was requested.
+FULL = ShardSpec(index=0, count=1)

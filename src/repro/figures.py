@@ -88,11 +88,13 @@ class FigureContext:
         :class:`repro.store.PersistentResultCache` to make runs resumable
         across processes.
     engine:
-        SNN execution engine for pipelines built by this context —
-        ``"auto"`` (default, lockstep-batched when available), ``"batched"``
-        or ``"scalar"``.  Engine choice never changes the numbers (the
-        batched engine is bit-exact against the scalar reference); a
-        pre-built ``pipeline`` keeps its own engine.
+        Execution engine for *both* tiers — ``"auto"`` (default,
+        lockstep-batched when available), ``"batched"`` or ``"scalar"``.
+        On the SNN tier the choice never changes the numbers (the batched
+        engine is bit-exact against the scalar reference); on the circuit
+        tier ``"scalar"`` forces the per-device reference MNA path (see
+        :attr:`circuit_engine` / :attr:`circuit_batch`), identical within
+        solver tolerance.  A pre-built ``pipeline`` keeps its own engine.
     executor:
         Fully custom executor (overrides ``pipeline``/``workers``/``cache``).
     """
@@ -126,6 +128,22 @@ class FigureContext:
     def scale(self) -> str:
         """Name of the experiment scale preset."""
         return self.config.scale_name
+
+    @property
+    def circuit_engine(self) -> str:
+        """The analog-tier engine matching this context's ``engine`` choice.
+
+        ``--engine scalar`` forces the per-device reference MNA path on the
+        circuit tier too; any other choice keeps the compiled engine
+        (``"auto"``), whose results agree with the reference within solver
+        tolerance (~1e-14, pinned by ``tests/test_analog_compiled.py``).
+        """
+        return "scalar" if self.engine == "scalar" else "auto"
+
+    @property
+    def circuit_batch(self) -> bool:
+        """Whether circuit-tier sweeps may take the lockstep batched route."""
+        return self.engine != "scalar"
 
     @property
     def pipeline(self):
@@ -335,7 +353,9 @@ def run_fig3(context: FigureContext) -> FigureResult:
     design = AxonHillockDesign(
         membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12
     )
-    sim = simulate_axon_hillock(design, stop_time="6u", time_step="5n")
+    sim = simulate_axon_hillock(
+        design, stop_time="6u", time_step="5n", engine=context.circuit_engine
+    )
     vout = sim.waveform("vout")
     vmem = sim.waveform("vmem")
     spikes = vout.detect_spikes(0.5, min_separation=200e-9)
@@ -368,7 +388,9 @@ def run_fig3(context: FigureContext) -> FigureResult:
     tags=("circuit", "waveform"),
 )
 def run_fig4(context: FigureContext) -> FigureResult:
-    sim = simulate_if_neuron(stop_time="150u", time_step="25n")
+    sim = simulate_if_neuron(
+        stop_time="150u", time_step="25n", engine=context.circuit_engine
+    )
     vmem = sim.waveform("vmem")
     vcmp = sim.waveform("vcmp")
     spikes = vcmp.detect_spikes(0.5, min_separation=1e-6)
@@ -410,7 +432,7 @@ def run_fig4(context: FigureContext) -> FigureResult:
 )
 def run_fig5(context: FigureContext) -> FigureResult:
     vdd = np.asarray(VDD_GRID)
-    circuit_amps = amplitude_vs_vdd(vdd)
+    circuit_amps = amplitude_vs_vdd(vdd, batch=context.circuit_batch)
     driver = CurrentDriverModel()
     model_amps = driver.amplitude_vs_vdd(vdd)
     nominal = circuit_amps[2]
@@ -502,7 +524,7 @@ def run_fig5(context: FigureContext) -> FigureResult:
 )
 def run_fig6(context: FigureContext) -> FigureResult:
     vdd = np.asarray(VDD_GRID)
-    circuit_thresholds = np.asarray(threshold_vs_vdd(vdd))
+    circuit_thresholds = np.asarray(threshold_vs_vdd(vdd, batch=context.circuit_batch))
     axon_hillock = AxonHillockModel()
     if_neuron = IFAmplifierModel()
     ah_model = np.asarray([axon_hillock.membrane_threshold(v) for v in vdd])

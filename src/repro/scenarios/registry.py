@@ -1,0 +1,54 @@
+"""The scenario registry: one name → one declarative scenario.
+
+Mirrors the figure registry (:mod:`repro.figures`) one abstraction level
+up: figures pin the paper's published sweeps, scenarios span the wider
+threat space the paper's model supports.  The CLI
+(``python -m repro scenarios list|run|report``), the runner and the tests
+all address scenarios through this registry, so a scenario defined once —
+in code or loaded from a YAML/JSON file — is first-class everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.scenarios.composite import CompositeScenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Anything the registry can hold.
+Scenario = Union[ScenarioSpec, CompositeScenario]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (names must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario for ``name`` (KeyError lists valid names)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def iter_scenarios() -> List[Scenario]:
+    """All registered scenarios, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def scenario_names() -> List[str]:
+    """Names of every registered scenario, in registration order."""
+    return list(_REGISTRY)
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove one scenario (used by tests registering temporary scenarios)."""
+    _REGISTRY.pop(name, None)

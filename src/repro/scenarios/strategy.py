@@ -1,0 +1,159 @@
+"""Evaluation strategies: dense grids and adaptive bisection search.
+
+A dense grid answers "what does the whole response surface look like"; the
+adaptive :class:`BisectionStrategy` answers the campaign question the paper
+cares about — *where does accuracy collapse?* — in O(log n) pipeline runs.
+It binary-searches the candidate values of one swept parameter — declared
+mildest corruption first — for the first value whose relative accuracy
+degradation reaches a target, assuming the degradation is monotone along
+the declared value order (true for every corruption family here: more
+corruption never helps accuracy).
+
+Because probes run through the shared
+:class:`~repro.exec.executor.SweepExecutor`, every probe is cached: a
+bisection over a grid that a dense sweep already evaluated costs zero new
+pipeline runs, and re-running a bisection resumes from the persistent cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class BisectionOutcome:
+    """Result of one adaptive collapse search.
+
+    ``collapse_value`` is the first swept value whose relative degradation
+    reached the target (``None`` when even the most severe value stays
+    under it); ``probes`` maps each evaluated value to its measured
+    degradation, in evaluation order.
+    """
+
+    parameter: str
+    target_degradation: float
+    collapse_value: Optional[float]
+    collapse_index: Optional[int]
+    probes: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def n_probes(self) -> int:
+        """Number of distinct values the search evaluated."""
+        return len(self.probes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.collapse_value is None:
+            return (
+                f"no collapse: degradation stays under "
+                f"{self.target_degradation:.0%} across the range "
+                f"({self.n_probes} probes)"
+            )
+        return (
+            f"collapse at {self.parameter}={self.collapse_value:g} "
+            f"(degradation >= {self.target_degradation:.0%}, "
+            f"{self.n_probes} probes)"
+        )
+
+
+class BisectionStrategy:
+    """Find the smallest corruption that collapses accuracy, in O(log n) runs.
+
+    Parameters
+    ----------
+    parameter:
+        Name of the swept parameter (reporting only; the candidate values
+        arrive pre-resolved).
+    target_degradation:
+        Relative accuracy degradation (vs baseline) that counts as
+        "collapsed", e.g. ``0.5`` for half the baseline accuracy lost.
+
+    The candidate values must be ordered from mildest to most severe
+    corruption; the measured degradation is assumed monotone non-decreasing
+    along that order.  Under that assumption the search returns exactly the
+    value a dense scan of the same candidates would return, with
+    ``<= 2 + ceil(log2(n))`` probes instead of ``n``.
+    """
+
+    def __init__(self, parameter: str, *, target_degradation: float = 0.5) -> None:
+        if not (0.0 < target_degradation <= 1.0):
+            raise ValueError(
+                f"target_degradation must be in (0, 1], got {target_degradation!r}"
+            )
+        self.parameter = parameter
+        self.target_degradation = target_degradation
+
+    def run(
+        self,
+        values: Sequence[float],
+        degradation_of: Callable[[float], float],
+    ) -> BisectionOutcome:
+        """Search ``values`` (mild → severe) for the first collapsing value.
+
+        ``degradation_of(value)`` must return the relative accuracy
+        degradation of the scenario evaluated at ``value``.
+        """
+        values = [float(v) for v in values]
+        if not values:
+            raise ValueError("bisection needs at least one candidate value")
+        probes: Dict[float, float] = {}
+
+        def measure(index: int) -> float:
+            value = values[index]
+            if value not in probes:
+                probes[value] = float(degradation_of(value))
+            return probes[value]
+
+        outcome = BisectionOutcome(
+            parameter=self.parameter,
+            target_degradation=self.target_degradation,
+            collapse_value=None,
+            collapse_index=None,
+            probes=probes,
+        )
+        # The most severe value decides whether a collapse exists at all.
+        if measure(len(values) - 1) < self.target_degradation:
+            return outcome
+        # The mildest value may already collapse (lo == first collapse).
+        if measure(0) >= self.target_degradation:
+            outcome.collapse_value = values[0]
+            outcome.collapse_index = 0
+            return outcome
+        # Invariant: degradation(values[lo]) < target <= degradation(values[hi]).
+        lo, hi = 0, len(values) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if measure(mid) >= self.target_degradation:
+                hi = mid
+            else:
+                lo = mid
+        outcome.collapse_value = values[hi]
+        outcome.collapse_index = hi
+        return outcome
+
+
+def dense_collapse_index(
+    degradations: Sequence[float], target_degradation: float
+) -> Optional[int]:
+    """First index whose degradation reaches the target (dense-scan reference).
+
+    This is the exhaustive counterpart of :class:`BisectionStrategy` — the
+    acceptance tests compare the two on the same grid.
+    """
+    for index, degradation in enumerate(degradations):
+        if float(degradation) >= target_degradation:
+            return index
+    return None
+
+
+def degradations_from_accuracies(
+    accuracies: Sequence[float], baseline_accuracy: float
+) -> List[float]:
+    """Relative degradation per swept point (0 when the baseline is 0)."""
+    if baseline_accuracy == 0.0:
+        return [0.0 for _ in accuracies]
+    return [
+        float((baseline_accuracy - accuracy) / baseline_accuracy)
+        for accuracy in accuracies
+    ]

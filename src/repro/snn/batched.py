@@ -595,6 +595,7 @@ class BatchedSpikeMonitor:
             self._buffer = buffer
 
     def record(self, layer: _LayerBatch) -> None:
+        """Capture the layer's current spikes (one simulation step)."""
         if self.counts_only:
             if self._counts is None:
                 self.reserve(0, layer)
@@ -626,6 +627,7 @@ class BatchedSpikeMonitor:
         return self._buffer[: self._length, min(variant, lanes - 1), example].copy()
 
     def reset(self) -> None:
+        """Clear the recording (buffers are kept for reuse)."""
         self._length = 0
         if self._counts is not None:
             self._counts.fill(0)
@@ -648,6 +650,7 @@ class BatchedStateMonitor:
         self._shape: Optional[Tuple[int, ...]] = None
 
     def reserve(self, time_steps: int, layer: _LayerBatch) -> None:
+        """Size the buffer for a run of ``time_steps`` further steps."""
         shape = np.broadcast_shapes(
             layer.state_shape(layer._examples), getattr(layer, self.variable).shape
         )
@@ -666,6 +669,7 @@ class BatchedStateMonitor:
             self._shape = shape
 
     def record(self, layer: _LayerBatch) -> None:
+        """Capture the layer's current state value (one simulation step)."""
         value = getattr(layer, self.variable)
         if self._buffer is None or self._length >= self._buffer.shape[0]:
             self.reserve(max(64, self._length or 1), layer)
@@ -683,6 +687,7 @@ class BatchedStateMonitor:
         ].copy()
 
     def reset(self) -> None:
+        """Clear the recording (the buffer is kept for reuse)."""
         self._length = 0
 
 
@@ -763,6 +768,7 @@ class BatchedNetwork:
             layer.reset_state_variables()
 
     def reset_monitors(self) -> None:
+        """Reset every attached monitor's recording."""
         for monitor in self.monitors.values():
             monitor.reset()
 

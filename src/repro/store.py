@@ -28,6 +28,7 @@ import json
 import os
 import platform
 import subprocess
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -169,9 +170,14 @@ def save_figure_result(
     return ArtifactPaths(json_path=json_path, npz_path=npz_path)
 
 
-def load_figure_result(json_path: Path | str) -> StoredFigure:
-    """Load one artifact pair; verifies the schema and array digests."""
-    json_path = Path(json_path)
+def _load_artifact_pair(json_path: Path) -> tuple:
+    """Read one JSON document plus its verified NPZ arrays.
+
+    Shared by the figure and scenario loaders: validates the schema
+    version and every array's SHA-256 digest, raising :class:`ValueError`
+    on any mismatch (and propagating :class:`OSError` when a referenced
+    NPZ file is missing).
+    """
     with open(json_path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     version = document.get("schema_version")
@@ -189,6 +195,10 @@ def load_figure_result(json_path: Path | str) -> StoredFigure:
             with np.load(json_path.parent / npz_name) as payload:
                 loaded.update({key: payload[key] for key in payload.files})
         for name, entry in manifest.items():
+            if name not in loaded:
+                raise ValueError(
+                    f"array {name!r} of {json_path} is missing from its NPZ file"
+                )
             array = loaded[name]
             digest = _array_digest(array)
             if digest != entry["sha256"]:
@@ -196,17 +206,135 @@ def load_figure_result(json_path: Path | str) -> StoredFigure:
                     f"array {name!r} of {json_path} is corrupt: digest mismatch"
                 )
             arrays[name] = array
+    return document, arrays
+
+
+def load_figure_result(json_path: Path | str) -> StoredFigure:
+    """Load one artifact pair; verifies the schema and array digests."""
+    document, arrays = _load_artifact_pair(Path(json_path))
     return StoredFigure(document=document, arrays=arrays)
+
+
+def classify_artifact_json(json_path: Path | str) -> str:
+    """What kind of document one ``.json`` file holds.
+
+    Returns ``"figure"`` / ``"scenario"`` for artifact documents,
+    ``"other"`` for JSON that parses but is not an artifact (skippable,
+    e.g. a stray config), ``"corrupt"`` for files that are not valid JSON
+    and ``"unreadable"`` for files that cannot be opened at all.  The
+    report commands treat the last two as failures — a truncated or
+    unreadable artifact must fail the run, not vanish from it.
+    """
+    try:
+        with open(json_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError:
+        return "unreadable"
+    except ValueError:
+        return "corrupt"
+    if not isinstance(document, dict) or "schema_version" not in document:
+        return "other"
+    if "figure" in document:
+        return "figure"
+    if "scenario" in document:
+        return "scenario"
+    return "other"
 
 
 def is_figure_artifact(json_path: Path | str) -> bool:
     """True when ``json_path`` looks like a figure artifact document."""
-    try:
-        with open(json_path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except (OSError, ValueError):
-        return False
-    return isinstance(document, dict) and "schema_version" in document and "figure" in document
+    return classify_artifact_json(json_path) == "figure"
+
+
+# --------------------------------------------------------------------------
+# Scenario artifacts (the ``python -m repro scenarios`` tier).
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StoredScenario:
+    """A scenario artifact loaded back from disk."""
+
+    document: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def scenario(self) -> str:
+        """Registry name of the scenario."""
+        return self.document["scenario"]
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Scalar metrics of the evaluation."""
+        return self.document["metrics"]
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        """Config/seed/git-SHA/timing provenance of the run."""
+        return self.document["provenance"]
+
+
+def save_scenario_result(
+    scenario,
+    result,
+    out_dir: Path | str,
+    *,
+    config: ExperimentConfig,
+    git_sha: Optional[str] = None,
+) -> ArtifactPaths:
+    """Persist a :class:`~repro.scenarios.runner.ScenarioResult` pair.
+
+    Writes ``scenario-<name>.json`` + ``scenario-<name>.npz`` under
+    ``out_dir`` with the same provenance/digest discipline as figure
+    artifacts, plus the *full declarative spec* (``scenario.to_dict()``)
+    so an artifact is reproducible from itself.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / f"scenario-{scenario.name}.json"
+    npz_path = out_dir / f"scenario-{scenario.name}.npz"
+
+    np.savez(npz_path, **result.arrays)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": scenario.name,
+        "title": scenario.title or scenario.name,
+        "description": scenario.description,
+        "tags": list(scenario.tags),
+        "strategy": result.strategy,
+        "engine": result.engine,
+        "shard": result.shard,
+        "spec": to_jsonable(scenario.to_dict()),
+        "metrics": to_jsonable(result.metrics),
+        "cases": to_jsonable(result.cases),
+        "tables": [
+            {"title": t.title, "headers": t.headers, "rows": t.rows}
+            for t in result.tables
+        ],
+        "arrays": {
+            name: {
+                "npz": npz_path.name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "sha256": _array_digest(array),
+            }
+            for name, array in result.arrays.items()
+        },
+        "provenance": build_provenance(result, config, git_sha=git_sha),
+    }
+    _atomic_write_json(json_path, document)
+    return ArtifactPaths(json_path=json_path, npz_path=npz_path)
+
+
+def load_scenario_result(json_path: Path | str) -> StoredScenario:
+    """Load one scenario artifact pair; verifies schema and array digests."""
+    document, arrays = _load_artifact_pair(Path(json_path))
+    return StoredScenario(document=document, arrays=arrays)
+
+
+def is_scenario_artifact(json_path: Path | str) -> bool:
+    """True when ``json_path`` looks like a scenario artifact document."""
+    return classify_artifact_json(json_path) == "scenario"
 
 
 def _atomic_write_json(path: Path, payload: Any) -> None:
@@ -233,26 +361,51 @@ class PersistentResultCache(ResultCache):
         self.path = Path(path)
         self._persisted: Dict[str, Dict[str, Any]] = {}
         if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            version = payload.get("schema_version")
-            if not isinstance(version, int) or version > SCHEMA_VERSION:
-                raise ValueError(
-                    f"{self.path} has cache schema {version!r}; this build "
-                    f"reads schemas <= {SCHEMA_VERSION} — delete the file to "
-                    "start a fresh cache"
-                )
-            entries = payload.get("results", {})
-            for key, fields in entries.items():
-                try:
-                    result = ExperimentResult(**fields)
-                except TypeError:
-                    # An entry written by a different ExperimentResult layout
-                    # (same schema, drifted fields): drop it — a cache miss
-                    # re-trains the point, a bad hit would corrupt figures.
-                    continue
+            for key, fields, result in self._read_entries(self.path):
                 self._persisted[key] = fields
                 self._results[key] = result
+
+    @staticmethod
+    def _read_entries(path: Path):
+        """Yield ``(key, raw_fields, ExperimentResult)`` from one cache file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has cache schema {version!r}; this build "
+                f"reads schemas <= {SCHEMA_VERSION} — delete the file to "
+                "start a fresh cache"
+            )
+        entries = payload.get("results", {})
+        for key, fields in entries.items():
+            try:
+                result = ExperimentResult(**fields)
+            except TypeError:
+                # An entry written by a different ExperimentResult layout
+                # (same schema, drifted fields): drop it — a cache miss
+                # re-trains the point, a bad hit would corrupt figures.
+                continue
+            yield key, fields, result
+
+    def preload(self, path: Path | str) -> int:
+        """Seed in-memory entries from *another* cache file, without adopting.
+
+        Entries already present (from this cache's own file or earlier
+        preloads) win.  Preloaded results are served as cache hits but are
+        **not** re-persisted to this cache's file, so concurrent shard
+        invocations writing disjoint files never clobber each other's
+        entries.  Returns the number of entries added.
+        """
+        path = Path(path)
+        added = 0
+        if not path.exists():
+            return added
+        for key, _fields, result in self._read_entries(path):
+            if key not in self._results:
+                self._results[key] = result
+                added += 1
+        return added
 
     def put(self, key: str, result) -> None:
         """Store ``result`` and, for experiment results, flush it to disk.
@@ -274,3 +427,38 @@ class PersistentResultCache(ResultCache):
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_json(self.path, payload)
+
+
+def open_shard_cache(directory: Path | str, shard=None) -> PersistentResultCache:
+    """The persistent cache for one (possibly sharded) campaign invocation.
+
+    Each shard persists its results to its own file
+    (``cache.shard-<i>-of-<n>.json``; the unsharded file stays
+    ``cache.json``), so concurrent shard processes never rewrite each
+    other's files, and every invocation *preloads* all sibling cache files
+    in the directory — which is what makes the merge step implicit: once
+    the union of shard caches covers a scenario's variant list, any
+    invocation assembles the complete, bit-identical artifact with zero
+    new pipeline runs.
+    """
+    directory = Path(directory)
+    if shard is None or shard.count == 1:
+        path = directory / "cache.json"
+    else:
+        path = directory / f"cache.shard-{shard.index}-of-{shard.count}.json"
+    cache = PersistentResultCache(path)
+    for sibling in sorted(directory.glob("cache*.json")):
+        if sibling == path:
+            continue
+        try:
+            cache.preload(sibling)
+        except (OSError, ValueError) as error:
+            # A corrupt or newer-schema *sibling* must not block this
+            # invocation — its entries simply become cache misses here
+            # (this cache's own file above still fails loudly: silently
+            # dropping our own persisted results would hide data loss).
+            print(
+                f"warning: skipping unreadable sibling cache {sibling}: {error}",
+                file=sys.stderr,
+            )
+    return cache

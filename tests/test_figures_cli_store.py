@@ -310,3 +310,80 @@ class TestCLIRunAndResume:
     def test_report_rejects_directories_without_artifacts(self, tmp_path, capsys):
         assert main(["report", str(tmp_path)]) == 1
         assert "no figure artifacts" in capsys.readouterr().err
+
+
+class TestReportExitCodes:
+    """Regression: ``repro report`` must fail on missing/corrupt artifacts.
+
+    It used to print a partial table and exit 0, so CI never noticed a
+    half-written results directory.
+    """
+
+    def _write_artifact(self, out_dir) -> None:
+        spec = get_figure("overheads")
+        result = FigureResult(
+            figure="overheads",
+            metrics={"x": 1.0},
+            arrays={"grid": np.arange(4, dtype=float)},
+            tables=[FigureTable(title="t", headers=["a"], rows=[["1"]])],
+        )
+        save_figure_result(
+            spec, result, out_dir, config=ExperimentConfig.tiny(), git_sha="abc"
+        )
+
+    def test_corrupt_array_digest_fails_the_report(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        np.savez(tmp_path / "overheads.npz", grid=np.zeros(4))
+        assert main(["report", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "failed to load" in err
+        assert "digest" in err
+
+    def test_missing_npz_fails_the_report(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        (tmp_path / "overheads.npz").unlink()
+        assert main(["report", str(tmp_path)]) == 1
+        assert "failed to load" in capsys.readouterr().err
+
+    def test_newer_schema_fails_the_report(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {"schema_version": SCHEMA_VERSION + 1, "figure": "x", "arrays": {}}
+            )
+        )
+        assert main(["report", str(tmp_path)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+    def test_good_artifacts_still_render_before_the_failure_exit(
+        self, tmp_path, capsys
+    ):
+        self._write_artifact(tmp_path)
+        bad = tmp_path / "broken.json"
+        bad.write_text(
+            json.dumps(
+                {"schema_version": SCHEMA_VERSION + 1, "figure": "bad", "arrays": {}}
+            )
+        )
+        assert main(["report", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "overheads" in captured.out  # the intact artifact is reported
+        assert "broken.json" in captured.err
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_unparseable_json_fails_the_report(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        (tmp_path / "truncated.json").write_text('{"schema_version": 1, "figu')
+        assert main(["report", str(tmp_path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unrelated_json_is_still_skipped_silently(self, tmp_path, capsys):
+        self._write_artifact(tmp_path)
+        (tmp_path / "notes.json").write_text(json.dumps({"scratch": True}))
+        assert main(["report", str(tmp_path)]) == 0
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Check that markdown links in the project docs resolve.
+
+Scans ``README.md`` and everything under ``docs/`` for markdown links and
+images, and verifies every *relative* target exists on disk (anchors are
+stripped; external ``http(s)``/``mailto`` targets are skipped so the check
+stays deterministic and offline).  Exit code 1 lists every broken link —
+the ``docs`` CI job runs this after the API build, so a renamed file or a
+stale generated page fails the PR instead of shipping a dead link.
+
+Usage::
+
+    python tools/check_links.py [FILE_OR_DIR ...]   # default: README.md docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Target schemes that are not files on disk.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> List[Path]:
+    """The markdown files to scan (defaults: README.md + docs/**/*.md)."""
+    paths = [Path(argument) for argument in arguments] or [
+        Path("README.md"),
+        Path("docs"),
+    ]
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def broken_links(markdown_path: Path) -> List[Tuple[str, str]]:
+    """Every (target, reason) of ``markdown_path`` that does not resolve."""
+    failures: List[Tuple[str, str]] = []
+    text = markdown_path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely show link-like syntax in examples.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):  # in-page anchor; headings are not checked
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (markdown_path.parent / file_part).resolve()
+        if not resolved.exists():
+            failures.append((target, f"missing file {resolved}"))
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    total = 0
+    failed = 0
+    for markdown_path in iter_markdown_files(arguments):
+        total += 1
+        for target, reason in broken_links(markdown_path):
+            failed += 1
+            print(f"{markdown_path}: broken link {target!r} ({reason})", file=sys.stderr)
+    if failed:
+        print(f"{failed} broken link(s) across {total} file(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {total} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
