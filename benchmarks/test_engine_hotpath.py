@@ -1,34 +1,46 @@
-"""Circuit-engine hot-path benchmark: scalar vs compiled vs batched.
+"""Circuit-engine hot-path benchmark: scalar vs compiled vs batched vs sparse.
 
 The workload is Fig. 8-shaped: a layer of Axon-Hillock neurons under
 threshold attack, simulated as one MNA transient (the single-simulation
 hot path), plus a VDD sweep of neuron variants (the batched sweep path).
-Three engines are measured on identical netlists:
+Four engines are measured on identical netlists:
 
 * **scalar** — the reference engine (per-device Python ``stamp()`` calls),
 * **compiled** — split assembly + vectorised device evaluation + LU reuse
   (:mod:`repro.analog.compiled`),
 * **batched** — B parameter variants advanced in lockstep with stacked
-  ``(B, N, N)`` solves (:mod:`repro.analog.batch`).
+  ``(B, N, N)`` solves (:mod:`repro.analog.batch`),
+* **sparse** — CSC assembly + ``splu`` factor reuse on large-N crossbar
+  layers (:mod:`repro.analog.sparse`): ``TestSparseScaling`` measures the
+  dense-vs-sparse crossover at the crossbar sizes of
+  :data:`repro.circuits.crossbar.CROSSBAR_SCALING_SIZES`.
 
 Each benchmark's ``extra_info`` records solves/sec (accepted time steps per
-wall-clock second) and the compiled engine's Newton-iteration counters, so
-the nightly ``BENCH_<date>.json`` snapshots carry the perf trajectory of the
-engine itself, not just wall-clock means.  The speedup assertions are set
-well below the typical measurements (~6x compiled on the 20-neuron layer,
-~2x further from batching; see benchmarks/README.md for methodology) to
-stay robust on noisy CI runners.
+wall-clock second) plus engine-shape numbers (Newton/LU counters, pattern
+``nnz``, matrix-memory ratios), so the nightly ``BENCH_<date>.json``
+snapshots carry the perf trajectory of the engine itself, not just
+wall-clock means.  The speedup assertions are set well below the typical
+measurements (~6x compiled on the 20-neuron layer, ~2x further from
+batching, ~6x sparse over dense at N = 512; see benchmarks/README.md for
+methodology) to stay robust on noisy CI runners.
 """
 
 import time
 
 import numpy as np
+import pytest
 
 from repro.analog import batched_transient_analysis, transient_analysis
 from repro.analog.compiled import CompiledCircuit
 from repro.analog.mosfet import NMOS_65NM
 from repro.analog.netlist import Circuit
-from repro.circuits import AxonHillockDesign, build_axon_hillock
+from repro.analog.sparse import HAVE_SPARSE, SparseCircuit
+from repro.circuits import (
+    AxonHillockDesign,
+    CrossbarLayerDesign,
+    build_axon_hillock,
+    build_crossbar_layer,
+)
 from repro.circuits.axon_hillock import default_input_spike_train
 from repro.circuits.inverter import add_inverter
 
@@ -46,6 +58,15 @@ VDD_GRID = (0.8, 0.9, 1.0, 1.1, 1.2)
 #: Speedup floors asserted on this hardware class (measured ~6x and ~1.7x).
 MIN_COMPILED_SPEEDUP = 3.0
 MIN_BATCH_SPEEDUP = 1.2
+
+#: Sparse-over-dense floor on the N = 512 crossbar (measured ~6x; the
+#: acceptance bar of the sparse tier).
+MIN_SPARSE_SPEEDUP = 5.0
+
+#: Crossbar transient span of the scaling study: 100 fixed steps.
+CROSSBAR_STOP_TIME = "0.5u"
+CROSSBAR_TIME_STEP = "5n"
+CROSSBAR_STEPS = 100
 
 LAYER_DESIGN = AxonHillockDesign(
     membrane_capacitance=0.2e-12, feedback_capacitance=0.2e-12
@@ -175,6 +196,79 @@ class TestEngineHotpath:
             len(VDD_GRID) * N_STEPS / benchmark.stats.stats.mean, 1
         )
         assert len(results) == len(VDD_GRID)
+
+
+def _run_crossbar(n_columns: int, engine: str):
+    return transient_analysis(
+        build_crossbar_layer(CrossbarLayerDesign(n_columns=n_columns)),
+        stop_time=CROSSBAR_STOP_TIME,
+        time_step=CROSSBAR_TIME_STEP,
+        use_initial_conditions=True,
+        record_nodes=["col0"],
+        engine=engine,
+    )
+
+
+@pytest.mark.skipif(not HAVE_SPARSE, reason="sparse tier needs scipy")
+class TestSparseScaling:
+    """Dense-vs-sparse crossover on crossbar layers (the large-N tier).
+
+    ``CROSSBAR_SCALING_SIZES`` brackets the ``engine="auto"`` routing
+    threshold: N = 128 (162 unknowns) stays dense under auto, N = 512 and
+    N = 1000 route sparse.  Dense timings stop at N = 512 — the O(N^3)
+    factorisations make a dense N = 1000 run pure waste on a nightly
+    budget, which is the point of the sparse tier.
+    """
+
+    def _record_pattern_info(self, benchmark, n_columns: int) -> None:
+        system = SparseCircuit(
+            build_crossbar_layer(CrossbarLayerDesign(n_columns=n_columns))
+        )
+        benchmark.extra_info["unknowns"] = system.size
+        benchmark.extra_info["pattern_nnz"] = system.nnz
+        benchmark.extra_info["pattern_density_pct"] = round(
+            100.0 * system.nnz / system.size**2, 2
+        )
+        benchmark.extra_info["dense_over_sparse_matrix_memory"] = round(
+            system.size**2 / system.nnz, 1
+        )
+
+    @pytest.mark.parametrize("n_columns", [128, 512])
+    def test_crossbar_dense(self, benchmark, n_columns):
+        result = benchmark.pedantic(
+            lambda: _run_crossbar(n_columns, "compiled"), rounds=2, iterations=1
+        )
+        benchmark.extra_info["solves_per_second"] = round(
+            CROSSBAR_STEPS / benchmark.stats.stats.mean, 1
+        )
+        assert len(result) == CROSSBAR_STEPS + 1
+
+    @pytest.mark.parametrize("n_columns", [128, 512, 1000])
+    def test_crossbar_sparse(self, benchmark, n_columns):
+        result = benchmark.pedantic(
+            lambda: _run_crossbar(n_columns, "sparse"), rounds=2, iterations=1
+        )
+        benchmark.extra_info["solves_per_second"] = round(
+            CROSSBAR_STEPS / benchmark.stats.stats.mean, 1
+        )
+        self._record_pattern_info(benchmark, n_columns)
+        assert len(result) == CROSSBAR_STEPS + 1
+
+    def test_sparse_beats_dense_at_n512(self):
+        _run_crossbar(512, "sparse")  # warm-up (pattern + permc selection)
+        dense_seconds = _timed(lambda: _run_crossbar(512, "compiled"))
+        sparse_seconds = _timed(lambda: _run_crossbar(512, "sparse"), repeats=2)
+        speedup = dense_seconds / sparse_seconds
+        assert speedup >= MIN_SPARSE_SPEEDUP, (
+            f"sparse tier speedup {speedup:.1f}x below the "
+            f"{MIN_SPARSE_SPEEDUP}x floor at N=512"
+        )
+        # Parity spot-check on the same workload.
+        dense = _run_crossbar(512, "compiled")
+        sparse = _run_crossbar(512, "sparse")
+        np.testing.assert_allclose(
+            sparse.voltage("col0"), dense.voltage("col0"), atol=1e-10
+        )
 
 
 class TestEngineSpeedupFloors:

@@ -15,8 +15,12 @@ This package provides the simulation substrate used by the reproduction:
 * :mod:`repro.analog.compiled` — the compiled engine: per-topology split
   linear/nonlinear assembly, vectorised MOSFET/diode/switch evaluation and
   LU reuse.  Selected automatically (``engine="auto"``) by the analyses.
+* :mod:`repro.analog.sparse` — the large-N engine tier: CSC assembly over
+  the compiled scatter maps with ``scipy.sparse.linalg.splu`` factor reuse.
+  Selected by ``engine="sparse"`` or automatically at crossbar-scale sizes.
 * :mod:`repro.analog.batch` — lockstep batched transients/DC sweeps over
-  parameter variants of one topology (stacked ``(B, N, N)`` solves).
+  parameter variants of one topology (stacked ``(B, N, N)`` dense or
+  ``(B, nnz)`` sparse solves).
 * :mod:`repro.analog.dc` — Newton-Raphson DC operating point and DC sweeps.
 * :mod:`repro.analog.transient` — backward-Euler transient analysis.
 * :mod:`repro.analog.waveform` — waveform post-processing (spike detection,
@@ -24,10 +28,11 @@ This package provides the simulation substrate used by the reproduction:
 * :mod:`repro.analog.sweep` — parameter sweep drivers used by the
   sensitivity analyses (threshold vs VDD, driver amplitude vs VDD, ...).
 
-The solver is deliberately compact (dense matrices, fixed time step) — the
-circuits in the paper have at most a few tens of nodes — but it is a real
-circuit simulator: every figure-level sensitivity in the paper is produced by
-solving the nonlinear device equations, not by table lookup.
+The solver is deliberately compact, but it is a real circuit simulator:
+every figure-level sensitivity in the paper is produced by solving the
+nonlinear device equations, not by table lookup.  Single-neuron testbenches
+(tens of nodes) run dense; crossbar-layer netlists (hundreds to a thousand
+unknowns, see :mod:`repro.circuits.crossbar`) route to the sparse tier.
 """
 
 from repro.analog.devices import (
@@ -43,7 +48,13 @@ from repro.analog.devices import (
 )
 from repro.analog.mosfet import MOSFET, MOSFETParameters, NMOS_65NM, PMOS_65NM
 from repro.analog.netlist import Circuit, SubCircuit
-from repro.analog.compiled import CompiledCircuit, EngineStats, make_system
+from repro.analog.compiled import (
+    CompiledCircuit,
+    EngineStats,
+    estimate_system_size,
+    make_system,
+)
+from repro.analog.sparse import SparseCircuit, try_sparse_system
 from repro.analog.batch import (
     BatchedCircuit,
     TopologyMismatchError,
@@ -76,7 +87,10 @@ __all__ = [
     "SubCircuit",
     "CompiledCircuit",
     "EngineStats",
+    "estimate_system_size",
     "make_system",
+    "SparseCircuit",
+    "try_sparse_system",
     "BatchedCircuit",
     "TopologyMismatchError",
     "batched_dc_sweep",

@@ -90,6 +90,28 @@ COMPILED_DEVICE_TYPES = (
 #: bound keeps the caches from growing without limit.
 _CACHE_LIMIT = 16
 
+#: System size (unknown count) from which ``engine="auto"`` routes a
+#: compiled-supported circuit to the sparse tier instead of the dense one.
+#: Dense LU is O(N^3) with a small constant, sparse ``splu`` roughly
+#: O(nnz^1.5) with a larger one; on crossbar-shaped MNA matrices (a few
+#: percent dense) the measured crossover sits well below this threshold, so
+#: the margin keeps small circuits on the dense path where they are
+#: fastest.  See ``benchmarks/test_engine_hotpath.py`` for the measured
+#: dense-vs-sparse scaling curve.
+SPARSE_SIZE_THRESHOLD = 256
+
+#: Valid ``engine=`` values of :func:`make_system` and the analyses.
+ENGINES = ("auto", "compiled", "sparse", "scalar")
+
+
+def estimate_system_size(circuit: Circuit) -> int:
+    """Unknown count (nodes + branch currents) of ``circuit``.
+
+    Cheap enough to call before building a system: used by the ``auto``
+    engine heuristic to decide dense vs sparse without compiling twice.
+    """
+    return len(circuit.nodes()) + sum(d.n_branches for d in circuit.devices)
+
 
 def _dt_key(dt: float) -> float:
     """Cache key for a time step, quantised to 12 significant digits.
@@ -231,12 +253,20 @@ class _VectorGroup:
         *,
         matrix_offsets: Optional[np.ndarray] = None,
         rhs_offsets: Optional[np.ndarray] = None,
+        mat_index: Optional[np.ndarray] = None,
     ) -> None:
-        """Accumulate evaluated components into (possibly batched) workspaces."""
+        """Accumulate evaluated components into (possibly batched) workspaces.
+
+        ``mat_index`` overrides the dense flat-index scatter map with an
+        alternative per-entry target (the sparse engines pass the CSC
+        ``data`` positions of the same entries); the RHS map is storage
+        independent and always used as compiled.
+        """
+        target = self._mat_flat if mat_index is None else mat_index
         if mat_comp.ndim == 2:  # single variant: components are (C, M)
             np.add.at(
                 matrix_flat,
-                self._mat_flat,
+                target,
                 self._mat_sign * mat_comp[self._mat_comp, self._mat_dev],
             )
             np.add.at(
@@ -250,7 +280,7 @@ class _VectorGroup:
         mat_values = self._mat_sign * mat_comp[self._mat_comp, :, self._mat_dev].T
         np.add.at(
             matrix_flat,
-            self._mat_flat[None, :] + matrix_offsets[:, None],
+            target[None, :] + matrix_offsets[:, None],
             mat_values,
         )
         rhs_values = self._rhs_sign * rhs_comp[self._rhs_comp, :, self._rhs_dev].T
@@ -461,7 +491,6 @@ class CompiledCircuit(MNASystem):
 
     def _compile(self, circuit: Circuit) -> None:
         size = self.size
-        self._static_matrix = np.zeros((size, size))
         mosfets: List[MOSFET] = []
         diodes: List[Diode] = []
         switches: List[VoltageControlledSwitch] = []
@@ -470,10 +499,15 @@ class CompiledCircuit(MNASystem):
         self._fallback: List[Device] = []
         caps: List[Capacitor] = []
         inductors: List[Inductor] = []
+        # The constant linear stamps are collected as (row, col, value)
+        # coordinate entries first; _finalise_pattern turns them into the
+        # engine's storage (a dense matrix here, a CSC pattern in the
+        # sparse subclass).
+        static_entries: List[Tuple[int, int, float]] = []
 
         def add_static(row: int, col: int, value: float) -> None:
             if row >= 0 and col >= 0:
-                self._static_matrix[row, col] += value
+                static_entries.append((row, col, value))
 
         for device in circuit.devices:
             kind = type(device)
@@ -554,6 +588,24 @@ class CompiledCircuit(MNASystem):
         #: Fully linear circuits have an iteration-independent matrix, so
         #: their LU factors can be cached exactly.
         self._fully_linear = not self._groups and not self._fallback
+        self._static_entries = (
+            np.array([e[0] for e in static_entries], dtype=np.intp),
+            np.array([e[1] for e in static_entries], dtype=np.intp),
+            np.array([e[2] for e in static_entries], dtype=float),
+        )
+        self._finalise_pattern()
+
+    def _finalise_pattern(self) -> None:
+        """Freeze the constant-stamp storage (dense matrix for this engine).
+
+        Runs once at the end of :meth:`_compile`, after the scatter maps
+        (static entries, capacitor/inductor companions, vectorised device
+        groups) exist.  The sparse subclass overrides this to build the CSC
+        pattern instead of a dense matrix.
+        """
+        rows, cols, values = self._static_entries
+        self._static_matrix = np.zeros((self.size, self.size))
+        np.add.at(self._static_matrix, (rows, cols), values)
 
     # ----------------------------------------------------------- base matrices
     def step_key(self, analysis: str, dt: float) -> tuple:
@@ -594,15 +646,8 @@ class CompiledCircuit(MNASystem):
         buffer[: self.size] = vector
         return buffer
 
-    def assemble(self, state: StampState, options: SolverOptions) -> tuple:
-        """Compiled replacement of :meth:`MNASystem.assemble` (same contract)."""
-        analysis = state.analysis
-        transient = analysis == "transient"
-        key = self.step_key(analysis, state.dt)
-        matrix, rhs = self._matrix, self._rhs
-        np.copyto(matrix, self._base_for(key, analysis, state.dt))
-        rhs.fill(0.0)
-        time = state.time
+    def _assemble_source_rhs(self, rhs: np.ndarray, time: float) -> None:
+        """Stamp the independent source values into ``rhs``."""
         for device, branch in self._vsrc:
             rhs[branch] += device.value_at(time)
         for device, pos, neg in self._isrc:
@@ -611,21 +656,34 @@ class CompiledCircuit(MNASystem):
                 rhs[pos] -= current
             if neg >= 0:
                 rhs[neg] += current
-        if transient:
-            prev = self._padded(state.previous, self._padded_prev)
-            if len(self._cap_values):
-                injection = (self._cap_values / state.dt) * (
-                    prev[self._cap_a_gather] - prev[self._cap_b_gather]
-                )
-                np.add.at(
-                    rhs,
-                    self._cap_rhs_idx,
-                    self._cap_rhs_sign * injection[self._cap_rhs_src],
-                )
-            if len(self._ind_values):
-                rhs[self._ind_branch] -= (
-                    self._ind_values / state.dt
-                ) * prev[self._ind_branch]
+
+    def _assemble_companion_rhs(self, rhs: np.ndarray, state: StampState) -> None:
+        """Stamp the capacitor/inductor companion injections into ``rhs``."""
+        prev = self._padded(state.previous, self._padded_prev)
+        if len(self._cap_values):
+            injection = (self._cap_values / state.dt) * (
+                prev[self._cap_a_gather] - prev[self._cap_b_gather]
+            )
+            np.add.at(
+                rhs,
+                self._cap_rhs_idx,
+                self._cap_rhs_sign * injection[self._cap_rhs_src],
+            )
+        if len(self._ind_values):
+            rhs[self._ind_branch] -= (
+                self._ind_values / state.dt
+            ) * prev[self._ind_branch]
+
+    def assemble(self, state: StampState, options: SolverOptions) -> tuple:
+        """Compiled replacement of :meth:`MNASystem.assemble` (same contract)."""
+        analysis = state.analysis
+        key = self.step_key(analysis, state.dt)
+        matrix, rhs = self._matrix, self._rhs
+        np.copyto(matrix, self._base_for(key, analysis, state.dt))
+        rhs.fill(0.0)
+        self._assemble_source_rhs(rhs, state.time)
+        if analysis == "transient":
+            self._assemble_companion_rhs(rhs, state)
         if self._groups:
             padded = self._padded(state.guess, self._padded_guess)
             matrix_flat = matrix.ravel()
@@ -744,16 +802,34 @@ def make_system(circuit: Circuit, engine: str = "auto") -> MNASystem:
     """Build the solver backend selected by ``engine``.
 
     ``"scalar"`` always uses the reference :class:`MNASystem`;
-    ``"compiled"`` always uses :class:`CompiledCircuit` (unknown device
-    types are still handled through its scalar fallback stamping);
-    ``"auto"`` compiles exactly when every device is a compiled type.
+    ``"compiled"`` always uses the dense :class:`CompiledCircuit` (unknown
+    device types are still handled through its scalar fallback stamping);
+    ``"sparse"`` requests the CSC + ``splu`` tier of
+    :mod:`repro.analog.sparse`, degrading to the dense compiled engine
+    (with a single warning per process) when SciPy is unavailable or the
+    circuit contains non-compiled device types; ``"auto"`` compiles exactly
+    when every device is a compiled type, picking the sparse tier once the
+    system size reaches :data:`SPARSE_SIZE_THRESHOLD` unknowns.
     """
     if engine == "scalar":
         return MNASystem(circuit)
     if engine == "compiled":
         return CompiledCircuit(circuit)
+    if engine == "sparse":
+        from repro.analog.sparse import try_sparse_system
+
+        system = try_sparse_system(circuit, explicit=True)
+        return system if system is not None else CompiledCircuit(circuit)
     if engine == "auto":
-        if CompiledCircuit.supports(circuit):
-            return CompiledCircuit(circuit)
-        return MNASystem(circuit)
-    raise ValueError(f"unknown engine {engine!r}; use 'auto', 'compiled' or 'scalar'")
+        if not CompiledCircuit.supports(circuit):
+            return MNASystem(circuit)
+        if estimate_system_size(circuit) >= SPARSE_SIZE_THRESHOLD:
+            from repro.analog.sparse import try_sparse_system
+
+            system = try_sparse_system(circuit, explicit=False)
+            if system is not None:
+                return system
+        return CompiledCircuit(circuit)
+    raise ValueError(
+        f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
+    )

@@ -1,0 +1,335 @@
+"""Sparse large-N circuit engine: CSC assembly with ``splu`` factor reuse.
+
+At crossbar scale (hundreds to a thousand neurons) the MNA stamp matrix is
+overwhelmingly sparse — a few percent of the ``(N, N)`` entries are ever
+touched — so the dense compiled engine's O(N^3) LU factorisations and
+O(N^2) per-iteration ``memcpy`` dominate everything else.
+:class:`SparseCircuit` is the large-N tier of the engine family:
+
+* **CSC assembly from the compiled scatter maps** — the sparsity pattern is
+  the union of every flat index the dense engine would ever write (static
+  stamps, capacitor/inductor companions, the vectorised device groups'
+  matrix entries, the gmin diagonal), frozen once at compile time.  Each
+  precomputed flat-index map is translated into positions in the CSC
+  ``data`` array, so per-iteration assembly is the same ``memcpy`` + source
+  stamps + vectorised nonlinear re-stamps as the dense engine — just into a
+  ``nnz``-sized vector instead of an ``(N, N)`` matrix.  The accumulation
+  order per entry is identical to the dense engine's, so the assembled
+  matrices agree bit-for-bit (pinned by ``tests/test_property_based.py``).
+* **``splu`` factor reuse** — mirrors the dense ``getrf``/``getrs`` cache:
+  linear circuits cache the :func:`scipy.sparse.linalg.splu` factorisation
+  per ``(analysis, dt, gmin)`` and each step costs one triangular solve;
+  nonlinear transients keep the factors of the last assembled Jacobian for
+  the frozen-Jacobian first iterate (:meth:`CompiledCircuit.predict_step`
+  is inherited unchanged — the residual check works on sparse matrices),
+  with full Newton preserved as the fallback.
+* **Degradation, not failure** — :func:`try_sparse_system` returns ``None``
+  (after one warning per process and reason) when SciPy is missing or the
+  circuit contains device types outside the compiled set, and
+  :func:`repro.analog.compiled.make_system` then falls back to the dense
+  engine, so ``engine="sparse"`` and large-N ``engine="auto"`` never crash
+  on a SciPy-free install.
+
+Routing: ``engine="sparse"`` forces this tier; ``engine="auto"`` selects it
+for compiled-supported circuits with at least
+:data:`repro.analog.compiled.SPARSE_SIZE_THRESHOLD` unknowns.  The batched
+lockstep engine (:mod:`repro.analog.batch`) stacks per-variant CSC ``data``
+arrays over the shared pattern and solves each variant through its own
+``splu`` factorisation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analog.compiled import _CACHE_LIMIT, CompiledCircuit
+from repro.analog.devices import GMIN
+from repro.analog.mna import SolverOptions, StampState
+from repro.analog.netlist import Circuit
+
+try:  # SciPy is optional; without it the sparse tier degrades to dense.
+    from scipy.sparse import csc_matrix
+    from scipy.sparse.linalg import splu
+
+    HAVE_SPARSE = True
+except ImportError:  # pragma: no cover - exercised on scipy-free installs
+    csc_matrix = splu = None
+    HAVE_SPARSE = False
+
+#: Reasons already warned about (one warning per process and reason).
+_WARNED: set = set()
+
+
+def _warn_once(reason: str, message: str) -> None:
+    """Emit ``message`` as a RuntimeWarning once per process per reason."""
+    if reason in _WARNED:
+        return
+    _WARNED.add(reason)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def try_sparse_system(
+    circuit: Circuit, *, explicit: bool
+) -> Optional["SparseCircuit"]:
+    """A :class:`SparseCircuit` for ``circuit``, or ``None`` to degrade.
+
+    ``explicit`` marks an ``engine="sparse"`` request (vs the ``auto``
+    heuristic): unsupported device types are only worth a warning when the
+    caller asked for sparse by name, since ``auto`` checks support before
+    routing here.  A missing SciPy always warns (once per process) because
+    both routes promise the sparse tier's memory/speed profile.
+    """
+    if not HAVE_SPARSE:
+        _warn_once(
+            "no-scipy",
+            "scipy.sparse is unavailable: the sparse circuit engine tier "
+            "degrades to the dense compiled engine (install scipy to "
+            "simulate large-N circuits efficiently)",
+        )
+        return None
+    if not CompiledCircuit.supports(circuit):
+        if explicit:
+            _warn_once(
+                "unsupported-devices",
+                f"circuit {circuit.name!r} contains device types outside "
+                "the compiled set: engine='sparse' degrades to the dense "
+                "compiled engine (scalar fallback stamping needs a dense "
+                "matrix)",
+            )
+        return None
+    return SparseCircuit(circuit)
+
+
+class SparseCircuit(CompiledCircuit):
+    """A :class:`CompiledCircuit` assembling into CSC and solving via ``splu``.
+
+    Drop-in compatible with every solver entry point: :meth:`assemble`
+    returns a ``scipy.sparse.csc_matrix`` (sharing the engine's persistent
+    ``data`` buffer) and :meth:`solve_assembled` factors it with
+    :func:`scipy.sparse.linalg.splu`.  Requires every device to be a
+    compiled type — scalar fallback stamping writes arbitrary dense
+    entries, which a frozen sparsity pattern cannot absorb — and raises
+    ``ValueError`` otherwise (:func:`try_sparse_system` screens for this).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        if not HAVE_SPARSE:  # pragma: no cover - guarded by try_sparse_system
+            raise RuntimeError("SparseCircuit requires scipy.sparse")
+        super().__init__(circuit)
+        # The dense workspaces of the parent engines are never touched:
+        # release the (N, N) matrix immediately so peak memory stays
+        # O(nnz) at crossbar scale.
+        self._matrix = None
+        #: Column-ordering spec passed to ``splu``; selected adaptively at
+        #: the first factorisation (see :meth:`_factor`).
+        self._permc_spec: Optional[str] = None
+
+    # ------------------------------------------------------------- compilation
+    def _finalise_pattern(self) -> None:
+        """Freeze the CSC pattern and translate every scatter map into it.
+
+        The pattern is the union of all flat (row-major) indices the dense
+        engine would write; position maps are built by ranking each flat
+        index within the column-major (CSC) ordering of that union.
+        """
+        if self._fallback:
+            unsupported = sorted({type(d).__name__ for d in self._fallback})
+            raise ValueError(
+                "the sparse engine supports compiled device types only; "
+                f"circuit {self.circuit.name!r} contains "
+                f"{', '.join(unsupported)}"
+            )
+        size = self.size
+        rows, cols, values = self._static_entries
+        static_flat = rows * size + cols
+        sources = [
+            static_flat,
+            self._cap_mat_flat,
+            self._ind_diag_flat,
+            self._node_diag_flat,
+        ] + [group._mat_flat for group in self._groups]
+        flats = np.unique(
+            np.concatenate([np.asarray(s, dtype=np.intp) for s in sources])
+        )
+        nnz = len(flats)
+        entry_rows = flats // size
+        entry_cols = flats % size
+        # Column-major rank of every pattern entry = its CSC data position.
+        order = np.argsort(entry_cols * size + entry_rows, kind="stable")
+        rank = np.empty(nnz, dtype=np.intp)
+        rank[order] = np.arange(nnz, dtype=np.intp)
+
+        def positions(flat: np.ndarray) -> np.ndarray:
+            return rank[np.searchsorted(flats, np.asarray(flat, dtype=np.intp))]
+
+        self._csc_indices = entry_rows[order].astype(np.int32)
+        counts = np.bincount(entry_cols, minlength=size)
+        self._csc_indptr = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int32)
+        self._static_pos = positions(static_flat)
+        self._cap_mat_pos = positions(self._cap_mat_flat)
+        self._ind_diag_pos = positions(self._ind_diag_flat)
+        self._diag_pos = positions(self._node_diag_flat)
+        self._group_mat_pos = [
+            positions(group._mat_flat) for group in self._groups
+        ]
+        # Static stamps accumulated in compilation order (matches the dense
+        # engine's np.add.at into the dense static matrix bit-for-bit).
+        static_data = np.zeros(nnz)
+        np.add.at(static_data, self._static_pos, values)
+        self._static_data = static_data
+        self._base_data_cache: Dict[tuple, np.ndarray] = {}
+        self._sparse = csc_matrix(
+            (np.zeros(nnz), self._csc_indices, self._csc_indptr),
+            shape=(size, size),
+        )
+        self._data = self._sparse.data
+
+    @property
+    def nnz(self) -> int:
+        """Number of structurally nonzero entries of the frozen pattern."""
+        return len(self._data)
+
+    # ----------------------------------------------------------- base matrices
+    def _base_data_for(self, key: tuple, analysis: str, dt: float) -> np.ndarray:
+        """CSC ``data`` of the constant linear stamps for one ``(analysis, dt)``.
+
+        Mirrors the dense engine's :meth:`CompiledCircuit._base_for` (same
+        LRU bound, same companion-conductance accumulation order) on the
+        pattern's ``data`` vector.
+        """
+        data = self._base_data_cache.pop(key, None)
+        if data is None:
+            data = self._static_data.copy()
+            if len(self._cap_values):
+                geq = (
+                    np.full_like(self._cap_values, GMIN)
+                    if analysis == "dc"
+                    else self._cap_values / dt
+                )
+                np.add.at(
+                    data,
+                    self._cap_mat_pos,
+                    self._cap_mat_sign * geq[self._cap_mat_src],
+                )
+            if len(self._ind_values) and analysis == "transient":
+                data[self._ind_diag_pos] -= self._ind_values / dt
+            if len(self._base_data_cache) >= _CACHE_LIMIT:
+                self._base_data_cache.pop(next(iter(self._base_data_cache)))
+        self._base_data_cache[key] = data
+        return data
+
+    def base_matrix(self, analysis: str, dt: float):
+        """The constant linear stamp pattern as a ``csc_matrix`` copy."""
+        data = self._base_data_for(self.step_key(analysis, dt), analysis, dt)
+        return csc_matrix(
+            (data.copy(), self._csc_indices, self._csc_indptr),
+            shape=(self.size, self.size),
+        )
+
+    # ---------------------------------------------------------------- assembly
+    def assemble(self, state: StampState, options: SolverOptions) -> tuple:
+        """Sparse replacement of :meth:`CompiledCircuit.assemble`.
+
+        Same contract (the returned matrix/RHS are reusable workspaces),
+        but the matrix comes back as a ``csc_matrix`` whose ``data`` buffer
+        is overwritten in place per iteration.
+        """
+        analysis = state.analysis
+        key = self.step_key(analysis, state.dt)
+        data, rhs = self._data, self._rhs
+        np.copyto(data, self._base_data_for(key, analysis, state.dt))
+        rhs.fill(0.0)
+        self._assemble_source_rhs(rhs, state.time)
+        if analysis == "transient":
+            self._assemble_companion_rhs(rhs, state)
+        if self._groups:
+            padded = self._padded(state.guess, self._padded_guess)
+            for group, mat_index in zip(self._groups, self._group_mat_pos):
+                mat_comp, rhs_comp = group.evaluate(padded)
+                group.scatter(
+                    data, rhs, mat_comp, rhs_comp, mat_index=mat_index
+                )
+        gmin = state.gmin if state.gmin else options.gmin
+        data[self._diag_pos] += gmin
+        self._last_key = key
+        self._linear_signature = (key, gmin) if self._fully_linear else None
+        self.stats.assemblies += 1
+        return self._sparse, rhs
+
+    # ----------------------------------------------------------------- solving
+    def _factor(self, matrix) -> Optional[object]:
+        """``splu`` factorisation of ``matrix`` or None when singular.
+
+        The first call selects the column ordering: MNA numbers unknowns
+        nodes-first in netlist order, which on crossbar-shaped circuits
+        (many columns each coupled to a small shared row block) makes the
+        ``NATURAL`` ordering nearly fill-free — several times cheaper than
+        the general-purpose ``COLAMD`` default.  Both are factored once and
+        the spec with the smaller L+U fill is kept for every later
+        factorisation, so irregular circuits still get COLAMD.
+        """
+        try:
+            if self._permc_spec is None:
+                candidates = []
+                for spec in ("COLAMD", "NATURAL"):
+                    factors = splu(matrix, permc_spec=spec)
+                    candidates.append((factors.nnz, spec, factors))
+                fill, self._permc_spec, factors = min(
+                    candidates, key=lambda entry: entry[0]
+                )
+            else:
+                factors = splu(matrix, permc_spec=self._permc_spec)
+        except RuntimeError:  # "Factor is exactly singular"
+            return None
+        self.stats.factorizations += 1
+        return factors
+
+    @staticmethod
+    def _back_substitute(factors, rhs: np.ndarray) -> np.ndarray:
+        """Solve through a cached ``splu`` factorisation."""
+        return factors.solve(rhs)
+
+    def _rescue_solve(self, matrix, rhs: np.ndarray) -> np.ndarray:
+        """Densified fallback for (near-)singular systems (rare rescue path)."""
+        dense = matrix.toarray()
+        try:
+            return np.linalg.solve(dense, rhs)
+        except np.linalg.LinAlgError:
+            return np.linalg.lstsq(dense, rhs, rcond=None)[0]
+
+    def solve_assembled(
+        self, matrix, rhs: np.ndarray, *, iteration: int = 0
+    ) -> np.ndarray:
+        """Sparse mirror of :meth:`CompiledCircuit.solve_assembled`.
+
+        Linear circuits reuse one cached ``splu`` factorisation per
+        ``(analysis, dt, gmin)``; nonlinear solves keep the last factors
+        for the inherited frozen-Jacobian predictor.
+        """
+        if iteration == 0:
+            self._frozen_fresh = False
+        self._solve_iterations = iteration + 1
+        if self._linear_signature is not None:
+            factors = self._lu_cache.pop(self._linear_signature, None)
+            if factors is None:
+                factors = self._factor(matrix)
+                if factors is None:
+                    return self._rescue_solve(matrix, rhs)
+                if len(self._lu_cache) >= _CACHE_LIMIT:
+                    self._lu_cache.pop(next(iter(self._lu_cache)))
+            else:
+                self.stats.lu_reuses += 1
+            self._lu_cache[self._linear_signature] = factors
+            return factors.solve(rhs)
+        factors = self._factor(matrix)
+        if factors is None:
+            return self._rescue_solve(matrix, rhs)
+        self._frozen_lu = factors
+        self._frozen_key = self._last_key
+        self._frozen_fresh = True
+        return factors.solve(rhs)

@@ -15,6 +15,8 @@
   inverter in the hardened Axon-Hillock neuron (Fig. 10a).
 * :mod:`repro.circuits.bandgap` — supply-insensitive reference models used by
   the threshold-hardening defense.
+* :mod:`repro.circuits.crossbar` — the parameterised crossbar SNN layer
+  (Fig. 8 regime) exercising the large-N sparse engine tier.
 """
 
 from repro.circuits.inverter import (
@@ -60,6 +62,13 @@ from repro.circuits.bandgap import (
     diode_reference_voltage,
     reference_vs_vdd,
 )
+from repro.circuits.crossbar import (
+    CROSSBAR_SCALING_SIZES,
+    CrossbarLayerDesign,
+    build_crossbar_layer,
+    crossbar_spike_counts,
+    simulate_crossbar_layer,
+)
 
 __all__ = [
     "InverterSizing",
@@ -93,4 +102,9 @@ __all__ = [
     "build_diode_reference",
     "diode_reference_voltage",
     "reference_vs_vdd",
+    "CROSSBAR_SCALING_SIZES",
+    "CrossbarLayerDesign",
+    "build_crossbar_layer",
+    "crossbar_spike_counts",
+    "simulate_crossbar_layer",
 ]

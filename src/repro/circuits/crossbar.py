@@ -1,0 +1,233 @@
+"""Parameterised crossbar SNN layer netlist (paper Fig. 8 regime).
+
+The paper's threat model targets full crossbar layers — hundreds of
+resistively-coupled neurons sharing input rows — not the single-neuron
+testbenches of Figs. 2-5.  This module builds that shape as one flat MNA
+netlist so the large-N engine tiers (:mod:`repro.analog.sparse`, the
+``engine="auto"`` size heuristic) can be exercised and benchmarked on the
+circuit class they exist for:
+
+* ``n_rows`` input rows, each driven by a staggered voltage pulse train
+  (the spike raster of the previous layer);
+* an ``n_columns`` x ``n_rows`` crossbar of seeded log-uniform resistances
+  (the programmed weights) injecting row activity into every column;
+* per column a leaky membrane (capacitor + leak resistor) and a
+  voltage-controlled reset switch that discharges the membrane once it
+  crosses a shared threshold rail — a relaxation oscillation whose reset
+  events are the column's output spikes.
+
+The system size is ``2 * n_rows + n_columns + 2`` unknowns and the stamp
+pattern is a few percent dense (each column couples to its rows only), so
+dense LU cost grows cubically while the circuit's actual structure grows
+linearly — exactly the dense-vs-sparse crossover measured in
+``benchmarks/test_engine_hotpath.py`` at N = 128 / 512 / 1000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analog import Circuit, PulseSource, transient_analysis
+from repro.analog.units import ValueLike, parse_value
+from repro.utils.rng import RandomState, SeedLike
+from repro.utils.validation import check_positive
+
+#: Column counts of the paper-scale crossbar study (Fig. 8 regime): below,
+#: at and above the dense-to-sparse routing threshold of ``engine="auto"``.
+CROSSBAR_SCALING_SIZES = (128, 512, 1000)
+
+
+@dataclass
+class CrossbarLayerDesign:
+    """Component values of one crossbar SNN layer.
+
+    Attributes
+    ----------
+    n_columns:
+        Number of output neurons (crossbar columns).
+    n_rows:
+        Number of input rows (previous-layer axons).
+    vdd:
+        Supply rail; also the high level of the row pulse drivers.
+    membrane_capacitance:
+        Per-column membrane capacitor to ground.
+    leak_resistance:
+        Per-column leak resistor to ground.
+    weight_r_min, weight_r_max:
+        Bounds of the log-uniform crossbar (weight) resistances.
+    threshold_fraction:
+        Firing threshold as a fraction of ``vdd`` (shared threshold rail).
+    reset_offset:
+        How far above the threshold rail the reset switch engages.  The
+        switch conduction is smooth (finite ``transition_width``), so the
+        offset guarantees the membrane *crosses* the rail — the spike the
+        metrics count — before the reset clamps it.
+    reset_resistance:
+        On-resistance of the reset switch discharging the membrane.
+    input_period, input_width:
+        Period and high time of the row pulse drivers; row ``i`` is delayed
+        by ``i / n_rows`` of a period so the layer sees a staggered raster.
+    seed:
+        Seed of the crossbar weight draw (same seed, same netlist).
+    """
+
+    n_columns: int = 128
+    n_rows: int = 16
+    vdd: float = 1.0
+    membrane_capacitance: float = 200e-15
+    leak_resistance: float = 5e6
+    weight_r_min: float = 100e3
+    weight_r_max: float = 2e6
+    threshold_fraction: float = 0.45
+    reset_offset: float = 0.05
+    reset_resistance: float = 20e3
+    input_period: float = 100e-9
+    input_width: float = 50e-9
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if self.n_columns < 1 or self.n_rows < 1:
+            raise ValueError("crossbar needs at least one row and one column")
+        check_positive(self.vdd, "vdd")
+        check_positive(self.membrane_capacitance, "membrane_capacitance")
+        check_positive(self.leak_resistance, "leak_resistance")
+        check_positive(self.weight_r_min, "weight_r_min")
+        check_positive(self.weight_r_max, "weight_r_max")
+        if not 0.0 < self.threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+
+    @property
+    def system_size(self) -> int:
+        """MNA unknown count: row nodes + row branches + columns + threshold."""
+        return 2 * self.n_rows + self.n_columns + 2
+
+    def weight_resistances(self) -> np.ndarray:
+        """The seeded ``(n_columns, n_rows)`` crossbar resistance draw."""
+        rng = RandomState(self.seed, name="crossbar").generator
+        log_r = rng.uniform(
+            np.log(self.weight_r_min),
+            np.log(self.weight_r_max),
+            size=(self.n_columns, self.n_rows),
+        )
+        return np.exp(log_r)
+
+
+def column_node(j: int) -> str:
+    """Membrane node name of column ``j``."""
+    return f"col{j}"
+
+
+def build_crossbar_layer(design: Optional[CrossbarLayerDesign] = None) -> Circuit:
+    """Build the crossbar layer netlist.
+
+    Nodes: ``row{i}`` (pulse-driven input rows), ``col{j}`` (column
+    membranes, see :func:`column_node`) and ``vth`` (shared threshold
+    rail).  Every device is a compiled type, so the circuit is eligible
+    for all engine tiers; at default sizing ``n_columns >= 254`` crosses
+    :data:`repro.analog.compiled.SPARSE_SIZE_THRESHOLD` and
+    ``engine="auto"`` routes the netlist to the sparse tier.
+    """
+    design = design or CrossbarLayerDesign()
+    circuit = Circuit(f"crossbar_{design.n_columns}x{design.n_rows}")
+    weights = design.weight_resistances()
+
+    circuit.add_voltage_source(
+        "VTH", "vth", "0", design.threshold_fraction * design.vdd
+    )
+    for i in range(design.n_rows):
+        circuit.add_voltage_source(
+            f"VROW{i}",
+            f"row{i}",
+            "0",
+            PulseSource(
+                0.0,
+                design.vdd,
+                delay=design.input_period * i / design.n_rows,
+                rise=1e-9,
+                fall=1e-9,
+                width=design.input_width,
+                period=design.input_period,
+            ),
+        )
+    for j in range(design.n_columns):
+        col = column_node(j)
+        circuit.add_capacitor(f"CMEM{j}", col, "0", design.membrane_capacitance)
+        circuit.add_resistor(f"RLEAK{j}", col, "0", design.leak_resistance)
+        # Reset switch: conducts once the membrane exceeds the threshold
+        # rail, discharging CMEM back below it (relaxation oscillation).
+        circuit.add_switch(
+            f"SRST{j}",
+            col,
+            "0",
+            col,
+            "vth",
+            threshold=design.reset_offset,
+            on_resistance=design.reset_resistance,
+            transition_width=0.02,
+        )
+        for i in range(design.n_rows):
+            circuit.add_resistor(f"RW{j}_{i}", f"row{i}", col, weights[j, i])
+    return circuit
+
+
+def simulate_crossbar_layer(
+    design: Optional[CrossbarLayerDesign] = None,
+    *,
+    stop_time: ValueLike = "1u",
+    time_step: ValueLike = "2n",
+    record_columns: Optional[Sequence[int]] = None,
+    adaptive: bool = False,
+    engine: str = "auto",
+):
+    """Transient simulation of the crossbar layer.
+
+    Records the membrane voltage of ``record_columns`` (default: every
+    column) and returns the
+    :class:`~repro.analog.transient.TransientResult`.  ``engine`` accepts
+    every :func:`repro.analog.compiled.make_system` value; the default
+    ``"auto"`` picks the sparse tier at paper-scale column counts.
+    """
+    design = design or CrossbarLayerDesign()
+    circuit = build_crossbar_layer(design)
+    if record_columns is None:
+        record_columns = range(design.n_columns)
+    return transient_analysis(
+        circuit,
+        stop_time=stop_time,
+        time_step=time_step,
+        use_initial_conditions=True,
+        record_nodes=[column_node(j) for j in record_columns],
+        adaptive=adaptive,
+        engine=engine,
+    )
+
+
+def crossbar_spike_counts(
+    result,
+    design: CrossbarLayerDesign,
+    columns: Sequence[int],
+    *,
+    min_separation: ValueLike = "20n",
+) -> np.ndarray:
+    """Per-column spike counts from a crossbar transient.
+
+    A spike is a rising crossing of the firing threshold (the membrane is
+    reset through the switch right after, so each relaxation cycle counts
+    once).  Used by the parity suite to compare engines on the metric the
+    paper reports, not just raw traces.
+    """
+    threshold = design.threshold_fraction * design.vdd
+    separation = parse_value(min_separation)
+    return np.array(
+        [
+            len(
+                result.waveform(column_node(j)).detect_spikes(
+                    threshold, min_separation=separation
+                )
+            )
+            for j in columns
+        ]
+    )

@@ -135,13 +135,15 @@ def amplitude_vs_vdd(
     design: Optional[CurrentDriverDesign] = None,
     load_voltage: float = 0.2,
     batch: bool = True,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Output amplitude for each supply voltage (paper Fig. 5b).
 
     All supply points share the driver topology, so the grid is routed
     through :class:`repro.exec.circuits.CircuitSweepDispatcher`: one
     lockstep batched DC solve instead of one operating point per supply.
-    ``batch=False`` forces the serial per-point reference path.
+    ``batch=False`` forces the serial per-point reference path and
+    ``engine`` picks the solver backend.
     """
     from repro.exec.circuits import CircuitSweepDispatcher
 
@@ -152,7 +154,9 @@ def amplitude_vs_vdd(
         )
         for v in values
     ]
-    ops = CircuitSweepDispatcher(batch=batch).run_operating_points(circuits)
+    ops = CircuitSweepDispatcher(batch=batch, engine=engine).run_operating_points(
+        circuits
+    )
     return np.array([abs(op.current("VLOAD")) for op in ops])
 
 

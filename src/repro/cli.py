@@ -89,14 +89,15 @@ def _add_scale_workers_engine(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=("auto", "batched", "scalar"),
+        choices=("auto", "batched", "scalar", "sparse"),
         default=None,
         help="execution engine for BOTH tiers: the SNN tier ('scalar' = "
         "per-example reference, 'batched' = lockstep engine, 'auto' = "
         "batched when available; bit-identical results either way) and "
         "the circuit tier ('scalar' forces the per-device reference "
-        "MNA path, otherwise the compiled/batched engine, identical "
-        "within solver tolerance)",
+        "MNA path, 'sparse' forces the CSC+splu large-N tier, otherwise "
+        "the compiled/batched engine — auto still routes crossbar-scale "
+        "netlists to the sparse tier; identical within solver tolerance)",
     )
     parser.add_argument(
         "--out",

@@ -45,19 +45,30 @@ class CircuitSweepDispatcher:
         ``True`` (default) batches whenever the circuits share a topology;
         ``False`` always runs the serial per-circuit path (reference
         behaviour, useful for parity debugging).
+    engine:
+        Solver backend forwarded to every analysis (see
+        :func:`repro.analog.compiled.make_system`): ``"auto"`` (default)
+        picks dense-compiled or sparse by system size, ``"sparse"`` forces
+        the CSC + ``splu`` tier, ``"compiled"`` forces the dense engine and
+        ``"scalar"`` forces the per-device reference path (which also
+        disables batching — the scalar engine has no lockstep mode).
 
     The ``batched_sweeps`` / ``serial_sweeps`` counters record which route
     each sweep actually took.
     """
 
     batch: bool = True
+    engine: str = "auto"
     batched_sweeps: int = 0
     serial_sweeps: int = 0
     _last_route: str = field(default="", repr=False)
 
     def _use_batch(self, circuits: Sequence[Circuit]) -> bool:
         route_batched = (
-            self.batch and len(circuits) > 1 and shares_topology(circuits)
+            self.batch
+            and self.engine != "scalar"
+            and len(circuits) > 1
+            and shares_topology(circuits)
         )
         if route_batched:
             self.batched_sweeps += 1
@@ -90,6 +101,7 @@ class CircuitSweepDispatcher:
                     use_initial_conditions=use_initial_conditions,
                     record_nodes=record_nodes,
                     options=options,
+                    engine=self.engine,
                 )
             except TopologyMismatchError:  # pragma: no cover - racy rebuild
                 self._last_route = "serial"
@@ -102,6 +114,7 @@ class CircuitSweepDispatcher:
                 use_initial_conditions=use_initial_conditions,
                 record_nodes=record_nodes,
                 options=options,
+                engine=self.engine,
             )
             for circuit in circuits
         ]
@@ -130,11 +143,13 @@ class CircuitSweepDispatcher:
             )
         if self._use_batch(circuits):
             try:
-                return batched_dc_sweep(circuits, source_name, grid, options=options)
+                return batched_dc_sweep(
+                    circuits, source_name, grid, options=options, engine=self.engine
+                )
             except TopologyMismatchError:  # pragma: no cover - racy rebuild
                 self._last_route = "serial"
         return [
-            dc_sweep(circuit, source_name, grid[i], options=options)
+            dc_sweep(circuit, source_name, grid[i], options=options, engine=self.engine)
             for i, circuit in enumerate(circuits)
         ]
 
@@ -149,12 +164,17 @@ class CircuitSweepDispatcher:
         if self._use_batch(circuits):
             try:
                 return batched_operating_points(
-                    circuits, initial_guesses=initial_guesses, options=options
+                    circuits,
+                    initial_guesses=initial_guesses,
+                    options=options,
+                    engine=self.engine,
                 )
             except TopologyMismatchError:  # pragma: no cover - racy rebuild
                 self._last_route = "serial"
         guesses = initial_guesses or [None] * len(circuits)
         return [
-            dc_operating_point(circuit, initial_guess=guess, options=options)
+            dc_operating_point(
+                circuit, initial_guess=guess, options=options, engine=self.engine
+            )
             for circuit, guess in zip(circuits, guesses)
         ]

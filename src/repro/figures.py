@@ -89,10 +89,12 @@ class FigureContext:
         across processes.
     engine:
         Execution engine for *both* tiers — ``"auto"`` (default,
-        lockstep-batched when available), ``"batched"`` or ``"scalar"``.
-        On the SNN tier the choice never changes the numbers (the batched
-        engine is bit-exact against the scalar reference); on the circuit
-        tier ``"scalar"`` forces the per-device reference MNA path (see
+        lockstep-batched when available), ``"batched"``, ``"sparse"`` or
+        ``"scalar"``.  On the SNN tier the choice never changes the numbers
+        (the batched engine is bit-exact against the scalar reference;
+        ``"sparse"`` behaves like ``"auto"`` there); on the circuit tier
+        ``"scalar"`` forces the per-device reference MNA path and
+        ``"sparse"`` forces the CSC + ``splu`` tier (see
         :attr:`circuit_engine` / :attr:`circuit_batch`), identical within
         solver tolerance.  A pre-built ``pipeline`` keeps its own engine.
     executor:
@@ -119,7 +121,12 @@ class FigureContext:
             self.executor = SweepExecutor(pipeline, workers=workers, cache=cache)
         else:
             self.executor = SweepExecutor(
-                pipeline_factory=PipelineFromConfig(self.config, engine=engine),
+                pipeline_factory=PipelineFromConfig(
+                    self.config,
+                    # The SNN tier has no sparse mode; the sparse choice
+                    # only steers the circuit tier (circuit_engine).
+                    engine="auto" if engine == "sparse" else engine,
+                ),
                 workers=workers,
                 cache=cache,
             )
@@ -134,11 +141,15 @@ class FigureContext:
         """The analog-tier engine matching this context's ``engine`` choice.
 
         ``--engine scalar`` forces the per-device reference MNA path on the
-        circuit tier too; any other choice keeps the compiled engine
-        (``"auto"``), whose results agree with the reference within solver
-        tolerance (~1e-14, pinned by ``tests/test_analog_compiled.py``).
+        circuit tier too and ``--engine sparse`` forces the CSC + ``splu``
+        tier; any other choice keeps the compiled engine (``"auto"``, which
+        still routes crossbar-scale netlists to the sparse tier).  All
+        backends agree with the reference within solver tolerance (~1e-14,
+        pinned by ``tests/test_analog_compiled.py``).
         """
-        return "scalar" if self.engine == "scalar" else "auto"
+        if self.engine in ("scalar", "sparse"):
+            return self.engine
+        return "auto"
 
     @property
     def circuit_batch(self) -> bool:
@@ -432,7 +443,9 @@ def run_fig4(context: FigureContext) -> FigureResult:
 )
 def run_fig5(context: FigureContext) -> FigureResult:
     vdd = np.asarray(VDD_GRID)
-    circuit_amps = amplitude_vs_vdd(vdd, batch=context.circuit_batch)
+    circuit_amps = amplitude_vs_vdd(
+        vdd, batch=context.circuit_batch, engine=context.circuit_engine
+    )
     driver = CurrentDriverModel()
     model_amps = driver.amplitude_vs_vdd(vdd)
     nominal = circuit_amps[2]
@@ -524,7 +537,9 @@ def run_fig5(context: FigureContext) -> FigureResult:
 )
 def run_fig6(context: FigureContext) -> FigureResult:
     vdd = np.asarray(VDD_GRID)
-    circuit_thresholds = np.asarray(threshold_vs_vdd(vdd, batch=context.circuit_batch))
+    circuit_thresholds = np.asarray(
+        threshold_vs_vdd(vdd, batch=context.circuit_batch, engine=context.circuit_engine)
+    )
     axon_hillock = AxonHillockModel()
     if_neuron = IFAmplifierModel()
     ah_model = np.asarray([axon_hillock.membrane_threshold(v) for v in vdd])

@@ -1,9 +1,12 @@
-"""Parity suite pinning the compiled/batched engines to the scalar reference.
+"""Three-way parity suite: scalar reference vs dense-compiled vs sparse.
 
-Every registered neuron/defense circuit runs through both engines
+Every registered neuron/defense circuit runs through all three engines
 (fixed-step and adaptive, batched and unbatched) and the traces must agree
-within solver tolerance, with identical spike/threshold metrics.  The suite
-also covers the engine-internal machinery (LU caching, frozen-Jacobian
+within solver tolerance, with identical spike/threshold metrics.  The
+sparse tier shares the compiled engine's assembly maps, so it is held to a
+much tighter contract against the dense engine (``SPARSE_DENSE_ATOL``,
+1e-10) than either is against the scalar reference.  The suite also covers
+the engine-internal machinery (LU and splu caching, frozen-Jacobian
 predictor, scalar fallback for unknown device types) and the transient
 satellite fixes (step-count ceiling, capacitor initial-condition
 orientation).
@@ -27,6 +30,7 @@ from repro.analog.batch import BatchedCircuit, TopologyMismatchError
 from repro.analog.compiled import HAVE_SCIPY, CompiledCircuit
 from repro.analog.devices import Resistor
 from repro.analog.mna import MNASystem
+from repro.analog.sparse import HAVE_SPARSE, SparseCircuit
 from repro.analog.transient import time_grid
 from repro.circuits import (
     AxonHillockDesign,
@@ -45,6 +49,15 @@ from repro.exec import CircuitSweepDispatcher
 #: (1e-6), so traces may differ by a few of those per step.
 TRACE_ATOL = 1e-5
 
+#: Sparse-vs-dense agreement.  Both engines assemble bitwise-identical
+#: matrices from the same scatter maps and run the same Newton iteration,
+#: so they differ only by LU-vs-splu floating-point roundoff.
+SPARSE_DENSE_ATOL = 1e-10
+
+needs_sparse = pytest.mark.skipif(
+    not HAVE_SPARSE, reason="sparse tier needs scipy"
+)
+
 FAST_AH_DESIGN = AxonHillockDesign(
     membrane_capacitance=0.1e-12, feedback_capacitance=0.1e-12
 )
@@ -56,6 +69,13 @@ def _transient_pair(circuit_builder, **kwargs):
     return scalar, compiled
 
 
+def _transient_trio(circuit_builder, **kwargs):
+    """The same transient through all three engines (sparse last)."""
+    scalar, compiled = _transient_pair(circuit_builder, **kwargs)
+    sparse = transient_analysis(circuit_builder(), engine="sparse", **kwargs)
+    return scalar, compiled, sparse
+
+
 def _assert_traces_match(scalar, compiled, nodes):
     np.testing.assert_allclose(compiled.time, scalar.time, rtol=0, atol=0)
     for node in nodes:
@@ -64,6 +84,19 @@ def _assert_traces_match(scalar, compiled, nodes):
             scalar.voltage(node),
             atol=TRACE_ATOL,
             err_msg=f"node {node}",
+        )
+
+
+def _assert_three_way(scalar, compiled, sparse, nodes):
+    """Compiled within solver tolerance of scalar; sparse pinned to dense."""
+    _assert_traces_match(scalar, compiled, nodes)
+    np.testing.assert_allclose(sparse.time, compiled.time, rtol=0, atol=0)
+    for node in nodes:
+        np.testing.assert_allclose(
+            sparse.voltage(node),
+            compiled.voltage(node),
+            atol=SPARSE_DENSE_ATOL,
+            err_msg=f"node {node} (sparse vs dense)",
         )
 
 
@@ -274,6 +307,157 @@ class TestBatchedParity:
         assert [c["VIN"].value for c in circuits] == originals
 
 
+@needs_sparse
+class TestThreeWayParity:
+    """Scalar / dense-compiled / sparse must agree on every circuit class.
+
+    The scalar-vs-compiled leg reuses the ``TRACE_ATOL`` solver-tolerance
+    contract; the sparse-vs-dense leg is held to ``SPARSE_DENSE_ATOL``
+    because both engines assemble the identical matrix.
+    """
+
+    def test_axon_hillock_fixed_step_and_spike_metrics(self):
+        kwargs = dict(stop_time="2u", time_step="5n", use_initial_conditions=True)
+        scalar, compiled, sparse = _transient_trio(
+            lambda: build_axon_hillock(FAST_AH_DESIGN), **kwargs
+        )
+        _assert_three_way(
+            scalar, compiled, sparse, ["vmem", "va", "vout", "vreset"]
+        )
+        spikes = [
+            r.waveform("vout").detect_spikes(0.5, min_separation=200e-9)
+            for r in (scalar, compiled, sparse)
+        ]
+        assert len(spikes[0]) >= 1
+        assert len(spikes[0]) == len(spikes[1]) == len(spikes[2])
+        # Sparse spike times are *identical* to dense, not merely close.
+        np.testing.assert_allclose(spikes[2], spikes[1], rtol=0, atol=0)
+
+    def test_axon_hillock_adaptive(self):
+        kwargs = dict(
+            stop_time="2u",
+            time_step="5n",
+            use_initial_conditions=True,
+            adaptive=True,
+        )
+        scalar, compiled, sparse = _transient_trio(
+            lambda: build_axon_hillock(FAST_AH_DESIGN), **kwargs
+        )
+        # The adaptive controller must accept the same steps on every
+        # engine, so the controller-driven grids line up exactly.
+        np.testing.assert_allclose(compiled.time, scalar.time, rtol=1e-12)
+        np.testing.assert_allclose(sparse.time, compiled.time, rtol=1e-12)
+        _assert_traces_match(scalar, compiled, ["vmem", "vout"])
+        for node in ("vmem", "vout"):
+            np.testing.assert_allclose(
+                sparse.voltage(node),
+                compiled.voltage(node),
+                atol=SPARSE_DENSE_ATOL,
+            )
+
+    def test_if_neuron(self):
+        kwargs = dict(stop_time="4u", time_step="10n", use_initial_conditions=True)
+        scalar, compiled, sparse = _transient_trio(
+            lambda: build_if_neuron(), **kwargs
+        )
+        _assert_three_way(scalar, compiled, sparse, ["vmem", "vthr", "vcmp", "vk"])
+
+    def test_current_driver_transient(self):
+        kwargs = dict(stop_time="100n", time_step="0.5n")
+        scalar, compiled, sparse = _transient_trio(
+            lambda: build_current_driver(1.0), **kwargs
+        )
+        _assert_three_way(scalar, compiled, sparse, ["nref", "nsw"])
+        np.testing.assert_allclose(
+            sparse.current("VLOAD"), compiled.current("VLOAD"), atol=SPARSE_DENSE_ATOL
+        )
+
+    @pytest.mark.parametrize("vdd", [0.8, 1.2])
+    def test_inverter_transfer_curve(self, vdd):
+        vin = np.linspace(0.0, vdd, 41)
+        scalar = dc_sweep(build_inverter(vdd), "VIN", vin, engine="scalar")
+        compiled = dc_sweep(build_inverter(vdd), "VIN", vin, engine="compiled")
+        sparse = dc_sweep(build_inverter(vdd), "VIN", vin, engine="sparse")
+        np.testing.assert_allclose(
+            compiled.voltage("out"), scalar.voltage("out"), atol=TRACE_ATOL
+        )
+        np.testing.assert_allclose(
+            sparse.voltage("out"), compiled.voltage("out"), atol=SPARSE_DENSE_ATOL
+        )
+
+    def test_robust_driver_operating_point(self):
+        guess = {"vset": 0.52}
+        results = {
+            engine: dc_operating_point(
+                build_robust_driver(1.0), initial_guess=guess, engine=engine
+            )
+            for engine in ("scalar", "compiled", "sparse")
+        }
+        assert results["compiled"].current("VLOAD") == pytest.approx(
+            results["scalar"].current("VLOAD"), abs=1e-10
+        )
+        assert results["sparse"].current("VLOAD") == pytest.approx(
+            results["compiled"].current("VLOAD"), abs=SPARSE_DENSE_ATOL
+        )
+
+    def test_batched_sparse_transient_matches_unbatched(self):
+        designs = [FAST_AH_DESIGN.with_vdd(v) for v in (0.9, 1.0, 1.1)]
+        circuits = [build_axon_hillock(d) for d in designs]
+        batched = batched_transient_analysis(
+            circuits,
+            stop_time="1u",
+            time_step="5n",
+            use_initial_conditions=True,
+            engine="sparse",
+        )
+        for design, result in zip(designs, batched):
+            solo = transient_analysis(
+                build_axon_hillock(design),
+                stop_time="1u",
+                time_step="5n",
+                use_initial_conditions=True,
+                engine="sparse",
+            )
+            for node in ("vmem", "vout"):
+                np.testing.assert_allclose(
+                    result.voltage(node),
+                    solo.voltage(node),
+                    atol=SPARSE_DENSE_ATOL,
+                )
+            scalar = transient_analysis(
+                build_axon_hillock(design),
+                stop_time="1u",
+                time_step="5n",
+                use_initial_conditions=True,
+                engine="scalar",
+            )
+            _assert_traces_match(scalar, result, ["vmem", "vout"])
+
+    def test_batched_sparse_dc_paths_match_dense(self):
+        vdds = (0.8, 1.0, 1.2)
+        circuits = [build_inverter(v) for v in vdds]
+        vin = np.stack([np.linspace(0.0, v, 31) for v in vdds])
+        sparse = batched_dc_sweep(circuits, "VIN", vin, engine="sparse")
+        dense = batched_dc_sweep(
+            [build_inverter(v) for v in vdds], "VIN", vin, engine="compiled"
+        )
+        for s, d in zip(sparse, dense):
+            np.testing.assert_allclose(
+                s.voltage("out"), d.voltage("out"), atol=SPARSE_DENSE_ATOL
+            )
+        ops_sparse = batched_operating_points(
+            [build_current_driver(v, ctrl_source=v) for v in vdds], engine="sparse"
+        )
+        ops_dense = batched_operating_points(
+            [build_current_driver(v, ctrl_source=v) for v in vdds],
+            engine="compiled",
+        )
+        for s, d in zip(ops_sparse, ops_dense):
+            assert s.current("VLOAD") == pytest.approx(
+                d.current("VLOAD"), abs=SPARSE_DENSE_ATOL
+            )
+
+
 class TestEngineInternals:
     def rc_circuit(self):
         circuit = Circuit("rc")
@@ -297,6 +481,58 @@ class TestEngineInternals:
             )
         assert system.stats.factorizations == 1
         assert system.stats.lu_reuses == 19
+
+    @needs_sparse
+    def test_sparse_splu_cache_mirrors_dense_lu_semantics(self):
+        """The sparse tier refactorises exactly as often as the dense one."""
+        from repro.analog.mna import SolverOptions
+        from repro.analog.transient import _advance, initial_condition_vector
+
+        circuit = self.rc_circuit()
+        system = SparseCircuit(circuit)
+        solution = initial_condition_vector(system, circuit)
+        options = SolverOptions()
+        for step in range(1, 21):
+            solution = _advance(
+                system, solution, (step - 1) * 1e-4, step * 1e-4, options, depth=0
+            )
+        # One splu factorisation on the first linear step, reused 19 times —
+        # identical counters to the dense getrf/getrs cache above.
+        assert system.stats.factorizations == 1
+        assert system.stats.lu_reuses == 19
+
+    @needs_sparse
+    def test_sparse_assembly_is_bitwise_identical_to_dense(self):
+        from repro.analog.mna import SolverOptions, StampState
+
+        circuit = build_axon_hillock(FAST_AH_DESIGN)
+        dense = CompiledCircuit(circuit)
+        sparse = SparseCircuit(circuit)
+        options = SolverOptions()
+        guess = np.zeros(dense.size)
+        for analysis, dt in (("dc", None), ("transient", 5e-9)):
+            state_d = StampState(
+                dense, analysis=analysis, time=0.0, dt=dt, guess=guess,
+                previous=guess,
+            )
+            state_s = StampState(
+                sparse, analysis=analysis, time=0.0, dt=dt, guess=guess,
+                previous=guess,
+            )
+            mat_d, rhs_d = dense.assemble(state_d, options)
+            mat_s, rhs_s = sparse.assemble(state_s, options)
+            # Same accumulation order over the same scatter maps: the
+            # densified sparse matrix matches the dense one bit for bit.
+            assert np.array_equal(np.asarray(mat_s.todense()), mat_d)
+            assert np.array_equal(rhs_s, rhs_d)
+
+    @needs_sparse
+    def test_explicit_sparse_engine_builds_sparse_system(self):
+        assert isinstance(make_system(self.rc_circuit(), "sparse"), SparseCircuit)
+        # Small circuits stay dense under auto (below the size threshold).
+        auto = make_system(self.rc_circuit(), "auto")
+        assert isinstance(auto, CompiledCircuit)
+        assert not isinstance(auto, SparseCircuit)
 
     @pytest.mark.skipif(not HAVE_SCIPY, reason="LU reuse needs scipy")
     def test_frozen_jacobian_predictor_engages_on_spiking_workload(self):

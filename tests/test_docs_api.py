@@ -46,6 +46,8 @@ class TestApiDocsBuild:
             "repro_exec_shard.md",
             "repro_snn_batched.md",
             "repro_analog_compiled.md",
+            "repro_analog_sparse.md",
+            "repro_circuits_crossbar.md",
         ):
             assert (out / page).exists(), f"missing API page {page}"
         spec_page = (out / "repro_scenarios_spec.md").read_text()

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analog import Circuit, dc_operating_point
+from repro.analog import Circuit, NMOS_65NM, PMOS_65NM, dc_operating_point
 from repro.analog.units import parse_value, si_format
 from repro.analog.waveform import Waveform
 from repro.attacks import FaultInjector
@@ -63,6 +63,121 @@ def test_waveform_crossings_alternate_and_count_periods(level, n_periods):
     falling = wave.threshold_crossings(level, direction="falling")
     assert len(rising) == n_periods - 1  # the waveform starts already high
     assert abs(len(rising) - len(falling)) <= 1
+
+
+# --------------------------------------------------- random netlists (sparse)
+def _random_netlist(seed: int) -> Circuit:
+    """A seeded, always-solvable small circuit with a random device mix.
+
+    A resistor spanning tree pins every node to ground (no floating
+    subgraphs), a pulse source drives node ``n1`` so transients are
+    non-trivial, and a random assortment of R/C/diode/switch/MOSFET extras
+    is layered on top.  The same seed always builds the same netlist, so
+    two calls give independent ``Circuit`` objects with identical stamps.
+    """
+    from repro.analog.devices import PulseSource
+
+    rng = np.random.default_rng(seed)
+    n_nodes = int(rng.integers(3, 8))
+    nodes = [f"n{i}" for i in range(1, n_nodes + 1)]
+    circuit = Circuit(f"random_{seed}")
+    circuit.add_voltage_source(
+        "V1", "n1", "0", PulseSource(0.0, 1.0, delay=10e-9, rise=5e-9,
+                                     fall=5e-9, width=60e-9, period=150e-9)
+    )
+    # Spanning tree: every node reaches ground through resistors.
+    for i, node in enumerate(nodes):
+        parent = "0" if i == 0 else nodes[int(rng.integers(0, i))]
+        circuit.add_resistor(
+            f"RT{i}", node, parent, float(rng.uniform(1e3, 100e3))
+        )
+    def pick() -> str:
+        return nodes[int(rng.integers(0, n_nodes))]
+
+    for k in range(int(rng.integers(2, 7))):
+        kind = rng.choice(["resistor", "capacitor", "diode", "switch", "mosfet"])
+        a, b = pick(), pick()
+        if kind == "resistor" and a != b:
+            circuit.add_resistor(f"RX{k}", a, b, float(rng.uniform(1e3, 1e6)))
+        elif kind == "capacitor":
+            circuit.add_capacitor(
+                f"CX{k}", a, "0", float(rng.uniform(1e-14, 1e-12))
+            )
+        elif kind == "diode":
+            anode, cathode = (a, "0") if rng.random() < 0.5 else ("0", a)
+            circuit.add_diode(f"DX{k}", anode, cathode)
+        elif kind == "switch":
+            circuit.add_switch(
+                f"SX{k}", a, "0", b, "0",
+                threshold=float(rng.uniform(0.2, 0.8)),
+                on_resistance=float(rng.uniform(1e3, 1e5)),
+            )
+        else:
+            params = NMOS_65NM if rng.random() < 0.5 else PMOS_65NM
+            circuit.add_mosfet(
+                f"MX{k}", a, b, "0", params, width=200e-9, length=65e-9
+            )
+    return circuit
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_random_netlist_sparse_assembly_is_bitwise_dense(seed):
+    """Sparse CSC assembly densifies to the exact dense compiled matrix."""
+    from repro.analog.compiled import CompiledCircuit
+    from repro.analog.mna import SolverOptions, StampState
+    from repro.analog.sparse import HAVE_SPARSE, SparseCircuit
+
+    if not HAVE_SPARSE:
+        pytest.skip("sparse tier needs scipy")
+    dense = CompiledCircuit(_random_netlist(seed))
+    sparse = SparseCircuit(_random_netlist(seed))
+    guess = np.random.default_rng(seed + 1).normal(0.0, 0.3, dense.size)
+    options = SolverOptions()
+    for analysis, dt, time in (("dc", None, 0.0), ("transient", 5e-9, 20e-9)):
+        state_d = StampState(
+            dense, analysis=analysis, time=time, dt=dt, guess=guess,
+            previous=guess,
+        )
+        state_s = StampState(
+            sparse, analysis=analysis, time=time, dt=dt, guess=guess,
+            previous=guess,
+        )
+        mat_d, rhs_d = dense.assemble(state_d, options)
+        mat_s, rhs_s = sparse.assemble(state_s, options)
+        assert np.array_equal(np.asarray(mat_s.todense()), mat_d), (
+            f"{analysis} stamp mismatch for seed {seed}"
+        )
+        assert np.array_equal(rhs_s, rhs_d)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_random_netlist_sparse_transient_matches_dense(seed):
+    from repro.analog import transient_analysis
+    from repro.analog.mna import ConvergenceError
+    from repro.analog.sparse import HAVE_SPARSE
+
+    if not HAVE_SPARSE:
+        pytest.skip("sparse tier needs scipy")
+    kwargs = dict(stop_time=200e-9, time_step=10e-9, use_initial_conditions=True)
+    try:
+        dense = transient_analysis(
+            _random_netlist(seed), engine="compiled", **kwargs
+        )
+    except ConvergenceError:
+        with pytest.raises(ConvergenceError):
+            transient_analysis(_random_netlist(seed), engine="sparse", **kwargs)
+        return
+    sparse = transient_analysis(_random_netlist(seed), engine="sparse", **kwargs)
+    np.testing.assert_allclose(sparse.time, dense.time, rtol=0, atol=0)
+    for node in dense.node_voltages:
+        np.testing.assert_allclose(
+            sparse.voltage(node),
+            dense.voltage(node),
+            atol=1e-10,
+            err_msg=f"node {node}, seed {seed}",
+        )
 
 
 # ------------------------------------------------------------------ neurons

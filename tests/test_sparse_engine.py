@@ -1,0 +1,223 @@
+"""Sparse-tier specifics: crossbar circuits, routing and scipy-free fallback.
+
+The three-way numerical parity contract lives in
+``tests/test_analog_compiled.py``; this module covers what is unique to the
+sparse tier — the crossbar layer netlist it exists for, the ``engine="auto"``
+size-threshold routing, the batched lockstep sparse mode, and the graceful
+degradation to the dense engine when SciPy is missing or a circuit contains
+non-compiled device types.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    Circuit,
+    estimate_system_size,
+    make_system,
+    transient_analysis,
+)
+from repro.analog import sparse as sparse_module
+from repro.analog.batch import BatchedCircuit
+from repro.analog.compiled import SPARSE_SIZE_THRESHOLD, CompiledCircuit
+from repro.analog.devices import Resistor
+from repro.analog.sparse import HAVE_SPARSE, SparseCircuit, try_sparse_system
+from repro.circuits import (
+    CROSSBAR_SCALING_SIZES,
+    CrossbarLayerDesign,
+    build_crossbar_layer,
+    crossbar_spike_counts,
+    simulate_crossbar_layer,
+)
+
+needs_sparse = pytest.mark.skipif(
+    not HAVE_SPARSE, reason="sparse tier needs scipy"
+)
+
+#: A crossbar small enough for the scalar reference engine to keep up.
+SMALL_DESIGN = CrossbarLayerDesign(n_columns=24, n_rows=4)
+
+#: A crossbar just over the auto-routing threshold (270 unknowns).
+LARGE_DESIGN = CrossbarLayerDesign(n_columns=260, n_rows=4)
+
+
+def _unsupported_circuit() -> Circuit:
+    class CustomResistor(Resistor):
+        """Exact-type lookup must reject subclasses with their own stamp."""
+
+        def stamp(self, stamper, state):  # pragma: no cover - never solved
+            super().stamp(stamper, state)
+
+    circuit = Circuit("custom")
+    circuit.add_voltage_source("V1", "in", "0", 1.0)
+    circuit.add(CustomResistor("RX", "in", "out", "1k"))
+    circuit.add_resistor("R2", "out", "0", "1k")
+    return circuit
+
+
+class TestCrossbarCircuit:
+    def test_system_size_formula_matches_mna(self):
+        for design in (SMALL_DESIGN, CrossbarLayerDesign(n_columns=7, n_rows=3)):
+            system = make_system(build_crossbar_layer(design), "compiled")
+            assert system.size == design.system_size
+            assert estimate_system_size(build_crossbar_layer(design)) == (
+                design.system_size
+            )
+
+    def test_weight_draw_is_seeded_and_bounded(self):
+        a = SMALL_DESIGN.weight_resistances()
+        b = SMALL_DESIGN.weight_resistances()
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (SMALL_DESIGN.n_columns, SMALL_DESIGN.n_rows)
+        assert (a >= SMALL_DESIGN.weight_r_min).all()
+        assert (a <= SMALL_DESIGN.weight_r_max).all()
+        other = CrossbarLayerDesign(n_columns=24, n_rows=4, seed=1)
+        assert not np.array_equal(other.weight_resistances(), a)
+
+    def test_scaling_sizes_straddle_the_routing_threshold(self):
+        assert CROSSBAR_SCALING_SIZES[0] < SPARSE_SIZE_THRESHOLD
+        assert all(
+            CrossbarLayerDesign(n_columns=n).system_size > SPARSE_SIZE_THRESHOLD
+            for n in CROSSBAR_SCALING_SIZES[1:]
+        )
+
+    def test_design_validation(self):
+        with pytest.raises(ValueError):
+            CrossbarLayerDesign(n_columns=0)
+        with pytest.raises(ValueError):
+            CrossbarLayerDesign(threshold_fraction=1.5)
+
+    @needs_sparse
+    def test_crossbar_spike_metrics_identical_across_engines(self):
+        columns = range(SMALL_DESIGN.n_columns)
+        kwargs = dict(stop_time="0.6u", time_step="4n")
+        results = {
+            engine: simulate_crossbar_layer(SMALL_DESIGN, engine=engine, **kwargs)
+            for engine in ("scalar", "compiled", "sparse")
+        }
+        counts = {
+            engine: crossbar_spike_counts(result, SMALL_DESIGN, columns)
+            for engine, result in results.items()
+        }
+        assert counts["scalar"].sum() >= SMALL_DESIGN.n_columns // 2
+        np.testing.assert_array_equal(counts["compiled"], counts["scalar"])
+        np.testing.assert_array_equal(counts["sparse"], counts["compiled"])
+        for j in (0, SMALL_DESIGN.n_columns - 1):
+            node = f"col{j}"
+            np.testing.assert_allclose(
+                results["sparse"].voltage(node),
+                results["compiled"].voltage(node),
+                atol=1e-10,
+            )
+
+
+@needs_sparse
+class TestRouting:
+    def test_explicit_sparse_forces_sparse_at_any_size(self):
+        system = make_system(build_crossbar_layer(SMALL_DESIGN), "sparse")
+        assert isinstance(system, SparseCircuit)
+
+    def test_auto_routes_by_size_threshold(self):
+        small = make_system(build_crossbar_layer(SMALL_DESIGN), "auto")
+        assert isinstance(small, CompiledCircuit)
+        assert not isinstance(small, SparseCircuit)
+        large = make_system(build_crossbar_layer(LARGE_DESIGN), "auto")
+        assert isinstance(large, SparseCircuit)
+
+    def test_pattern_is_actually_sparse_at_scale(self):
+        system = make_system(build_crossbar_layer(LARGE_DESIGN), "sparse")
+        density = system.nnz / system.size**2
+        assert density < 0.10
+        # The dense workspace is released: peak memory is O(nnz).
+        assert system._matrix is None
+
+    def test_sparse_rejects_fallback_devices_directly(self):
+        with pytest.raises(ValueError, match="compiled device types only"):
+            SparseCircuit(_unsupported_circuit())
+
+    def test_batched_sparse_mode_flags(self):
+        sparse_batch = BatchedCircuit(
+            [build_crossbar_layer(SMALL_DESIGN) for _ in range(2)],
+            engine="sparse",
+        )
+        assert sparse_batch.sparse_mode
+        auto_large = BatchedCircuit(
+            [build_crossbar_layer(LARGE_DESIGN) for _ in range(2)]
+        )
+        assert auto_large.sparse_mode
+        auto_small = BatchedCircuit(
+            [build_crossbar_layer(SMALL_DESIGN) for _ in range(2)]
+        )
+        assert not auto_small.sparse_mode
+        with pytest.raises(ValueError):
+            BatchedCircuit(
+                [build_crossbar_layer(SMALL_DESIGN) for _ in range(2)],
+                engine="warp-drive",
+            )
+
+
+class TestFallback:
+    """``engine="sparse"`` degrades to dense with one warning, never crashes."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(sparse_module, "_WARNED", set())
+
+    def test_missing_scipy_degrades_with_single_warning(self, monkeypatch):
+        monkeypatch.setattr(sparse_module, "HAVE_SPARSE", False)
+        circuit = build_crossbar_layer(SMALL_DESIGN)
+        with pytest.warns(RuntimeWarning, match="degrades to the dense"):
+            system = make_system(circuit, "sparse")
+        assert isinstance(system, CompiledCircuit)
+        assert not isinstance(system, SparseCircuit)
+        # Second request: same degradation, no warning spam.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = make_system(build_crossbar_layer(SMALL_DESIGN), "sparse")
+        assert isinstance(again, CompiledCircuit)
+
+    def test_missing_scipy_auto_large_n_degrades_silently_to_dense(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(sparse_module, "HAVE_SPARSE", False)
+        with pytest.warns(RuntimeWarning, match="scipy.sparse is unavailable"):
+            system = make_system(build_crossbar_layer(LARGE_DESIGN), "auto")
+        assert isinstance(system, CompiledCircuit)
+        assert not isinstance(system, SparseCircuit)
+
+    def test_missing_scipy_transient_still_solves(self, monkeypatch):
+        monkeypatch.setattr(sparse_module, "HAVE_SPARSE", False)
+        with pytest.warns(RuntimeWarning):
+            result = transient_analysis(
+                build_crossbar_layer(SMALL_DESIGN),
+                stop_time="20n",
+                time_step="4n",
+                use_initial_conditions=True,
+                record_nodes=["col0"],
+                engine="sparse",
+            )
+        assert len(result.voltage("col0")) == 6
+
+    def test_unsupported_devices_warn_only_when_explicit(self):
+        if not HAVE_SPARSE:
+            pytest.skip("needs scipy to reach the device check")
+        with pytest.warns(RuntimeWarning, match="outside"):
+            assert try_sparse_system(_unsupported_circuit(), explicit=True) is None
+        # The auto heuristic checks support before routing here: silent.
+        monkey_warned = sparse_module._WARNED
+        monkey_warned.clear()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert (
+                try_sparse_system(_unsupported_circuit(), explicit=False) is None
+            )
+
+    def test_explicit_sparse_on_unsupported_circuit_degrades(self):
+        if not HAVE_SPARSE:
+            pytest.skip("covered by the no-scipy tests above")
+        with pytest.warns(RuntimeWarning, match="device types outside"):
+            system = make_system(_unsupported_circuit(), "sparse")
+        assert isinstance(system, CompiledCircuit)
+        assert not isinstance(system, SparseCircuit)

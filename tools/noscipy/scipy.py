@@ -1,0 +1,19 @@
+"""Import blocker simulating a SciPy-free install.
+
+Prepend this directory to ``PYTHONPATH`` (before ``src``) and every
+``import scipy`` — including ``from scipy.sparse import ...`` — raises
+``ImportError``, exactly as on a machine without SciPy.  CI uses it to run
+the analog engine test subset against the degradation paths: the dense
+compiled engine must fall back from raw LAPACK to ``numpy.linalg`` and the
+sparse tier must degrade to the dense engine with a single warning
+(``repro.analog.sparse.try_sparse_system``), never crash.
+
+Usage::
+
+    PYTHONPATH=tools/noscipy:src python -m pytest tests/test_analog_*.py \
+        tests/test_sparse_engine.py -q
+"""
+
+raise ImportError(
+    "scipy is blocked by tools/noscipy to simulate a SciPy-free install"
+)
