@@ -107,6 +107,40 @@ def test_parallel_sweep_speedup_over_serial(benchmark):
     assert speedup >= 2.0, f"expected >=2x with workers=4, measured {speedup:.2f}x"
 
 
+def test_resilient_sweep_under_chaos_matches_clean_run(benchmark):
+    """A supervised sweep with injected worker faults still lands the same
+    results as a fault-free serial run, at a bounded wall-clock overhead."""
+    from repro.exec import Fault, FaultPlan, ResiliencePolicy, ResilientExecutor, RetryPolicy
+
+    attacks = _grid_attacks()
+    clean = SweepExecutor(WaitBoundPipeline(), workers=0)
+    clean_results = clean.map(attacks)
+
+    # Every task fails its first attempt; the supervisor's retry heals it.
+    plan = FaultPlan(name="bench-chaos", faults=(Fault(action="raise"),))
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(backoff_base=0.01, backoff_max=0.05), chaos=plan
+    )
+    chaotic = ResilientExecutor(
+        None,
+        workers=4,
+        pipeline_factory=build_wait_bound_pipeline,
+        policy=policy,
+    )
+
+    def run_chaotic():
+        return chaotic.map(attacks)
+
+    chaotic_results = benchmark.pedantic(run_chaotic, rounds=1, iterations=1)
+    chaotic.close()
+    print(format_execution_report(chaotic.stats))
+
+    for left, right in zip(clean_results, chaotic_results):
+        assert left.attack_label == right.attack_label
+        assert left.accuracy == right.accuracy
+    assert chaotic.stats.retries == len(attacks)
+
+
 def test_parallel_campaign_matches_serial_bit_for_bit(tiny_pipeline_config):
     """Fig. 8a-scope sweep: campaign results identical for workers=0 and 4."""
     from repro.core import ClassificationPipeline

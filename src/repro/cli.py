@@ -31,6 +31,15 @@ Scenario subcommands (the declarative threat-scenario subsystem,
 ``scenarios report``
     Render stored scenario artifacts as summary tables.
 
+Both ``run`` commands execute through the fault-tolerant supervision layer
+(:mod:`repro.exec.resilience`): ``--task-timeout`` abandons and re-dispatches
+hung tasks, ``--max-retries`` bounds the per-task retry budget (seeded
+exponential backoff), and ``--chaos`` injects a deterministic fault plan
+(:mod:`repro.exec.chaos`) to prove the campaign still produces bit-identical
+results under worker crashes, hangs, transient errors and cache corruption.
+Ctrl-C / SIGTERM exit gracefully (codes 130/143) with every completed result
+flushed to the persistent cache for resume.
+
 Examples::
 
     python -m repro list
@@ -45,6 +54,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -55,6 +65,8 @@ from repro.core.reporting import (
     format_execution_report,
     format_paper_comparison,
 )
+from repro.exec.chaos import CHAOS_PLANS, load_fault_plan
+from repro.exec.resilience import ResiliencePolicy
 from repro.figures import FigureContext, figure_names, get_figure, iter_figures
 from repro.store import (
     PersistentResultCache,
@@ -70,6 +82,38 @@ from repro.utils.tables import format_table
 
 #: File name of the persistent executor cache inside a results directory.
 CACHE_FILENAME = "cache.json"
+
+#: Exit code after Ctrl-C (the conventional 128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+#: Exit code after SIGTERM (the conventional 128 + SIGTERM).
+EXIT_TERMINATED = 143
+
+
+class _TerminationRequested(BaseException):
+    """Raised from the SIGTERM handler to unwind through context managers.
+
+    A ``BaseException`` (like :class:`KeyboardInterrupt`) so ordinary
+    ``except Exception`` retry logic never swallows a shutdown request;
+    the ``with`` blocks it unwinds through cancel pending executor work,
+    and every completed result is already flushed to the persistent cache.
+    """
+
+
+def _install_sigterm_handler():
+    """Route SIGTERM into :class:`_TerminationRequested`; returns the old handler.
+
+    Returns ``None`` when handlers cannot be installed (non-main thread,
+    platforms without SIGTERM) — the CLI then just keeps default behaviour.
+    """
+
+    def handler(signum, frame):
+        raise _TerminationRequested()
+
+    try:
+        return signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError, AttributeError):
+        return None
 
 
 def _add_scale_workers_engine(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +151,30 @@ def _add_scale_workers_engine(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-item tables"
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout for parallel runs: a dispatch exceeding it "
+        "is abandoned and re-dispatched (counts against --max-retries)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per task for worker failures and timeouts, with "
+        "seeded exponential backoff (default: 2)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan for resilience testing: "
+        f"a built-in name ({', '.join(sorted(CHAOS_PLANS))}) or a JSON "
+        "file; final results stay bit-identical to a clean run",
     )
 
 
@@ -213,6 +281,24 @@ def _resolve_figures(names: Sequence[str], run_all: bool) -> List[str]:
     return list(names)
 
 
+def _resilience_from_args(
+    args: argparse.Namespace, *, seed: int = 0
+) -> ResiliencePolicy:
+    """Map the shared CLI flags onto a :class:`ResiliencePolicy`."""
+    plan = None
+    if args.chaos:
+        try:
+            plan = load_fault_plan(args.chaos)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"--chaos: {error}") from None
+    return ResiliencePolicy.from_options(
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        chaos=plan,
+        seed=seed,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_figures(args.figures, args.all)
     if args.scale is not None:
@@ -221,11 +307,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = ExperimentConfig.from_environment(default="benchmark")
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    policy = _resilience_from_args(args, seed=config.seed)
+    if policy.chaos is not None:
+        # Disk-level chaos (cache corruption) fires before the cache opens,
+        # so the quarantine-and-recompute path is what gets exercised.
+        policy.chaos.apply_disk(out_dir)
     cache = PersistentResultCache(out_dir / CACHE_FILENAME)
     git_sha = git_revision()
 
     with FigureContext(
-        config, workers=args.workers, cache=cache, engine=args.engine or "auto"
+        config,
+        workers=args.workers,
+        cache=cache,
+        engine=args.engine or "auto",
+        resilience=policy,
     ) as context:
         for name in names:
             spec = get_figure(name)
@@ -376,6 +471,9 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     shard = ShardSpec.parse(args.shard) if args.shard else FULL
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    policy = _resilience_from_args(args)
+    if policy.chaos is not None:
+        policy.chaos.apply_disk(out_dir)
     cache = open_shard_cache(out_dir, shard)
     git_sha = git_revision()
     pending = 0
@@ -386,6 +484,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         cache=cache,
         shard=shard,
+        resilience=policy,
     ) as runner:
         for name in names:
             scenario = get_scenario(name)
@@ -400,12 +499,24 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 continue
             if not result.complete:
                 pending += 1
+                positions = ", ".join(str(p) for p in result.missing_positions[:8])
+                if len(result.missing_positions) > 8:
+                    positions += f", … ({len(result.missing_positions) - 8} more)"
+                owners = ", ".join(
+                    f"{index}/{shard.count}" for index in result.missing_shards
+                )
                 print(
                     f"[{name}] shard slice done in {result.wall_seconds:.2f} s "
                     f"({result.executor_tasks} pipeline runs); waiting on "
-                    f"{result.missing} variant(s) from other shards — "
-                    "re-run unsharded (or any shard) after they finish to merge"
+                    f"{result.missing} variant(s) from other shards"
+                    + (f": position(s) {positions}, owned by shard(s) {owners}" if owners else "")
                 )
+                for index in result.missing_shards:
+                    print(
+                        f"[{name}]   resume with: python -m repro scenarios run "
+                        f"{name} --shard {index}/{shard.count} --out {args.out}"
+                    )
+                print(f"[{name}]   then re-run this command to merge")
                 continue
             paths = save_scenario_result(
                 scenario, result, out_dir, config=config, git_sha=git_sha
@@ -491,9 +602,7 @@ def _cmd_scenarios_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -505,3 +614,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_scenarios_run(args)
         return _cmd_scenarios_report(args)
     return _cmd_report(args)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Ctrl-C and SIGTERM shut campaigns down gracefully: pending executor
+    work is cancelled on unwind, every completed result is already in the
+    persistent cache (re-running resumes from it), and the process exits
+    with the conventional ``128 + signal`` code instead of a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    previous = _install_sigterm_handler()
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        print(
+            "interrupted — completed results are in the cache; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except _TerminationRequested:
+        print(
+            "terminated — completed results are in the cache; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return EXIT_TERMINATED
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)

@@ -96,6 +96,18 @@ def format_execution_report(stats: "ExecutionStats", *, slowest: int = 5) -> str
         ("summed task time", f"{stats.task_seconds:.2f} s"),
         ("measured speedup", f"{stats.speedup_estimate():.2f}x"),
     ]
+    # Fault-tolerance counters appear only when something actually fired,
+    # so clean runs keep the familiar compact report.
+    labels = {
+        "retries": "task retries",
+        "timeouts": "task timeouts",
+        "requeues": "straggler re-dispatches",
+        "pool_rebuilds": "worker-pool rebuilds",
+        "quarantined": "quarantined cache entries",
+    }
+    for key, count in stats.resilience_events().items():
+        if count:
+            rows.append((labels[key], str(count)))
     for timing in stats.slowest_tasks(slowest):
         # Drop the experiment-config scope prefix: within one report every
         # task shares it, and the attack content is the informative part.
@@ -114,6 +126,13 @@ def format_artifact_summary(documents: Sequence[Mapping]) -> str:
     rows = []
     for document in documents:
         provenance = document.get("provenance", {})
+        resilience = provenance.get("resilience", {}) or {}
+        fired = {key: count for key, count in resilience.items() if count}
+        recovered = (
+            ", ".join(f"{key}={count}" for key, count in sorted(fired.items()))
+            if fired
+            else "-"
+        )
         rows.append(
             (
                 document.get("figure", "?"),
@@ -123,10 +142,20 @@ def format_artifact_summary(documents: Sequence[Mapping]) -> str:
                 f"{provenance.get('wall_seconds', 0.0):.2f} s",
                 str(provenance.get("executor_tasks", 0)),
                 str(provenance.get("executor_cache_hits", 0)),
+                recovered,
             )
         )
     return format_table(
-        ["figure", "scale", "seed", "git SHA", "wall", "runs", "cache hits"],
+        [
+            "figure",
+            "scale",
+            "seed",
+            "git SHA",
+            "wall",
+            "runs",
+            "cache hits",
+            "recovered faults",
+        ],
         rows,
         title=f"Stored figure artifacts ({len(rows)})",
     )

@@ -24,6 +24,16 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   a task list across independent invocations (the ``--shard`` flag of
   ``python -m repro scenarios run``); the union of all shards is exactly
   the full list, with no coordination needed.
+* :class:`~repro.exec.resilience.ResilientExecutor` — the fault-tolerant
+  supervision layer: worker-death recovery (pool rebuild + re-dispatch of
+  lost in-flight tasks), per-task timeout/retry with seeded exponential
+  backoff, and percentile-based straggler re-dispatch with
+  first-result-wins merges.  Configured by
+  :class:`~repro.exec.resilience.ResiliencePolicy`.
+* :mod:`repro.exec.chaos` — the deterministic fault-injection harness
+  (seeded :class:`~repro.exec.chaos.FaultPlan`: kill/delay/raise/corrupt)
+  that regression-tests the resilience layer and backs the ``--chaos``
+  CLI flag.
 
 Parallel execution is bit-identical to serial execution: every pipeline run
 derives its random streams from ``(config.seed, attack label)`` alone, never
@@ -32,6 +42,7 @@ which task or in what order.
 """
 
 from repro.exec.cache import ResultCache, attack_cache_key
+from repro.exec.chaos import CHAOS_PLANS, Fault, FaultPlan, InjectedFault, load_fault_plan
 from repro.exec.circuits import CircuitSweepDispatcher
 from repro.exec.executor import (
     ExecutionStats,
@@ -40,19 +51,42 @@ from repro.exec.executor import (
     TaskTiming,
     default_worker_count,
 )
-from repro.exec.shard import FULL, ShardSpec
+from repro.exec.resilience import (
+    ResilienceExecutorError,
+    ResiliencePolicy,
+    ResilientExecutor,
+    RetryPolicy,
+    StragglerPolicy,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.exec.shard import FULL, MergeReport, ShardSpec, merge_report
 from repro.exec.snn_batch import PipelineBatchDispatcher
 
 __all__ = [
+    "CHAOS_PLANS",
     "FULL",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "MergeReport",
     "ShardSpec",
+    "merge_report",
     "CircuitSweepDispatcher",
     "PipelineBatchDispatcher",
     "ResultCache",
     "attack_cache_key",
+    "load_fault_plan",
     "ExecutionStats",
     "PipelineFromConfig",
+    "ResilienceExecutorError",
+    "ResiliencePolicy",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "StragglerPolicy",
     "SweepExecutor",
     "TaskTiming",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "default_worker_count",
 ]

@@ -1,0 +1,329 @@
+"""Deterministic fault injection for the execution subsystem.
+
+Resilience is only trustworthy when it is regression-tested the same way
+correctness is: by pinning outcomes.  This module is the fault-injection
+half of that contract.  A :class:`FaultPlan` is a *seeded, declarative*
+list of failures — kill the worker process running a matching task, delay
+a task by a fixed time, raise a transient exception inside a task, or
+corrupt a persisted cache entry on disk — and every fault fires as a pure
+function of ``(plan seed, task key, attempt number)``.  Injected chaos is
+therefore reproducible run-to-run: the same plan against the same campaign
+kills the same tasks, which is what lets ``tests/test_exec_resilience.py``
+assert that a chaotic campaign ends in the *same SHA-256-pinned results*
+as a clean one.
+
+Faults target tasks by *content* (a substring of the executor's
+content-based cache key) rather than by submission index, so the plan is
+independent of worker scheduling.  The ``attempts`` gate bounds every
+fault: a fault that fires on attempt 0 only is healed by the supervisor's
+first retry, so chaotic campaigns terminate by construction.
+
+The ``--chaos`` CLI flag accepts a registered plan name (see
+:data:`CHAOS_PLANS`) or a path to a JSON file with the
+:meth:`FaultPlan.to_dict` layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+#: Fault actions a plan may carry.
+ACTIONS = ("raise", "delay", "kill", "corrupt_cache")
+
+
+class InjectedFault(RuntimeError):
+    """The transient failure raised by ``raise`` faults (and by ``kill``
+    faults on the serial path, where killing the process would take the
+    supervisor down with the task)."""
+
+
+def _gate(seed: int, key: str, attempt: int, salt: str) -> float:
+    """Deterministic uniform [0, 1) draw for one (task, attempt) pair.
+
+    Derived from a SHA-256 of the plan seed, the task's content key and
+    the attempt number — never from global RNG state — so whether a fault
+    fires does not depend on scheduling, worker identity or prior draws.
+    """
+    digest = hashlib.sha256(f"{seed}:{salt}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One declarative failure of a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    action:
+        ``"raise"`` (transient in-task exception), ``"delay"`` (sleep for
+        ``delay_seconds`` before computing — models a straggler or hang),
+        ``"kill"`` (terminate the worker process mid-task, exercising
+        pool-rebuild recovery) or ``"corrupt_cache"`` (flip bytes of a
+        matching persisted cache entry on disk, exercising quarantine).
+    match:
+        Substring of the executor's content-based task cache key this
+        fault applies to (``""`` matches every task).
+    attempts:
+        Attempt numbers the fault fires on (default: first attempt only,
+        so the supervisor's re-dispatch heals it deterministically).
+    probability:
+        Deterministic per-(task, attempt) firing probability — gated by a
+        seeded hash of the task key, not by global randomness.
+    delay_seconds:
+        Sleep length for ``delay`` faults.
+    exit_code:
+        Worker exit status for ``kill`` faults.
+    """
+
+    action: str
+    match: str = ""
+    attempts: Tuple[int, ...] = (0,)
+    probability: float = 1.0
+    delay_seconds: float = 0.0
+    exit_code: int = 86
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"fault action must be one of {ACTIONS}, got {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_seconds < 0.0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+
+    def fires(self, seed: int, key: str, attempt: int) -> bool:
+        """Whether this fault fires for ``(key, attempt)`` under ``seed``."""
+        if self.match not in key:
+            return False
+        if attempt not in self.attempts:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return _gate(seed, key, attempt, self.action + self.match) < self.probability
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative set of failures to inject into a campaign.
+
+    Plans are picklable (they travel to worker processes through the pool
+    initializer) and JSON round-trippable (the ``--chaos`` flag loads them
+    from files).  :meth:`apply` is called by the execution layer once per
+    task dispatch; disk-level ``corrupt_cache`` faults are applied once up
+    front by :meth:`apply_disk`.
+    """
+
+    name: str = "custom"
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def task_faults(self, key: str, attempt: int) -> Tuple[Fault, ...]:
+        """The in-task faults firing for this ``(key, attempt)`` dispatch."""
+        return tuple(
+            fault
+            for fault in self.faults
+            if fault.action != "corrupt_cache" and fault.fires(self.seed, key, attempt)
+        )
+
+    def apply(self, key: str, attempt: int, *, allow_kill: bool = True) -> None:
+        """Inject every firing in-task fault for one task dispatch.
+
+        ``delay`` faults sleep, ``raise`` faults raise
+        :class:`InjectedFault`, ``kill`` faults terminate the process with
+        ``os._exit`` (or raise :class:`InjectedFault` when
+        ``allow_kill=False`` — the serial path, where the task and the
+        supervisor share a process).
+        """
+        for fault in self.task_faults(key, attempt):
+            if fault.action == "delay":
+                time.sleep(fault.delay_seconds)
+            elif fault.action == "raise":
+                raise InjectedFault(
+                    f"chaos[{self.name}]: injected failure in {key!r} "
+                    f"(attempt {attempt})"
+                )
+            elif fault.action == "kill":
+                if not allow_kill:
+                    raise InjectedFault(
+                        f"chaos[{self.name}]: kill demoted to transient failure "
+                        f"in {key!r} (serial path, attempt {attempt})"
+                    )
+                os._exit(fault.exit_code)
+
+    def count_firing(self, keys, action: str, attempt: int = 0) -> int:
+        """How many of ``keys`` a given ``action`` fires on at ``attempt``.
+
+        Test helper: lets a chaos suite assert that the executor's
+        retry/requeue counters match the plan it injected.
+        """
+        return sum(
+            1
+            for key in keys
+            for fault in self.faults
+            if fault.action == action and fault.fires(self.seed, key, attempt)
+        )
+
+    def apply_disk(self, directory: Path | str) -> int:
+        """Apply every ``corrupt_cache`` fault to cache files under ``directory``.
+
+        Flips bytes of matching entries inside each ``cache*.json`` (see
+        :func:`corrupt_cache_entry`); returns the number of entries
+        corrupted.  Run *before* the campaign opens its caches, modelling
+        corruption that happened while no process was alive.
+        """
+        directory = Path(directory)
+        corrupted = 0
+        faults = [f for f in self.faults if f.action == "corrupt_cache"]
+        if not faults:
+            return corrupted
+        for cache_path in sorted(directory.glob("cache*.json")):
+            for fault in faults:
+                corrupted += corrupt_cache_entry(cache_path, match=fault.match)
+        return corrupted
+
+    # ------------------------------------------------------------- round-trip
+    def to_dict(self) -> Dict:
+        """JSON-ready dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [
+                {
+                    "action": fault.action,
+                    "match": fault.match,
+                    "attempts": list(fault.attempts),
+                    "probability": fault.probability,
+                    "delay_seconds": fault.delay_seconds,
+                    "exit_code": fault.exit_code,
+                }
+                for fault in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        """Build a plan from its :meth:`to_dict` form (strict field check)."""
+        if not isinstance(payload, dict):
+            raise TypeError(f"fault plan must be a mapping, got {type(payload).__name__}")
+        unknown = set(payload) - {"name", "seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan field(s): {sorted(unknown)}")
+        faults = []
+        for entry in payload.get("faults", []):
+            if not isinstance(entry, dict):
+                raise TypeError("each fault must be a mapping")
+            bad = set(entry) - {
+                "action", "match", "attempts", "probability",
+                "delay_seconds", "exit_code",
+            }
+            if bad:
+                raise ValueError(f"unknown fault field(s): {sorted(bad)}")
+            entry = dict(entry)
+            if "attempts" in entry:
+                entry["attempts"] = tuple(int(a) for a in entry["attempts"])
+            faults.append(Fault(**entry))
+        return cls(
+            name=str(payload.get("name", "custom")),
+            seed=int(payload.get("seed", 0)),
+            faults=tuple(faults),
+        )
+
+
+def corrupt_cache_entry(cache_path: Path | str, *, match: str = "") -> int:
+    """Corrupt the stored bytes of matching entries in one cache file.
+
+    Rewrites the raw JSON text of a :class:`~repro.store.PersistentResultCache`
+    file, replacing each matching entry's payload with garbage that still
+    parses as JSON — the per-entry SHA-256 digest check on load is what
+    must catch it.  ``match=""`` corrupts the first entry.  Returns the
+    number of entries corrupted (0 when the file is missing or empty).
+    """
+    cache_path = Path(cache_path)
+    if not cache_path.exists():
+        return 0
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except ValueError:
+        return 0
+    results = payload.get("results", {})
+    corrupted = 0
+    for key, entry in results.items():
+        if match and match not in key:
+            continue
+        fields = entry.get("fields") if isinstance(entry, dict) and "fields" in entry else entry
+        if isinstance(fields, dict) and "accuracy" in fields:
+            fields["accuracy"] = -1.0  # silently wrong value the digest must catch
+            corrupted += 1
+        if not match:
+            break
+    if corrupted:
+        cache_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+    return corrupted
+
+
+def truncate_file(path: Path | str, keep_bytes: int = 16) -> None:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes (torn-write stand-in)."""
+    path = Path(path)
+    data = path.read_bytes()[:keep_bytes]
+    path.write_bytes(data)
+
+
+#: Registered plans addressable by name from the ``--chaos`` CLI flag.
+#: ``ci-plan`` is the chaos-smoke campaign: a deterministic sprinkle of
+#: transient failures and short delays (plus one demoted kill) over ~¼ of
+#: first attempts — enough to exercise retry, straggler and rebuild paths
+#: at smoke scale without stretching CI wall-clock.
+CHAOS_PLANS: Dict[str, FaultPlan] = {
+    "ci-plan": FaultPlan(
+        name="ci-plan",
+        seed=2022,
+        faults=(
+            Fault(action="raise", probability=0.25),
+            Fault(action="delay", probability=0.25, delay_seconds=0.05),
+            Fault(action="kill", probability=0.05),
+        ),
+    ),
+    "kill-once": FaultPlan(
+        name="kill-once",
+        faults=(Fault(action="kill", probability=0.2),),
+    ),
+}
+
+
+def load_fault_plan(spec: str) -> FaultPlan:
+    """Resolve a ``--chaos`` argument: a registered name or a JSON file path."""
+    if spec in CHAOS_PLANS:
+        return CHAOS_PLANS[spec]
+    path = Path(spec)
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise ValueError(f"chaos plan {spec}: not valid JSON ({error})") from None
+        return FaultPlan.from_dict(payload)
+    raise ValueError(
+        f"unknown chaos plan {spec!r}; registered: {sorted(CHAOS_PLANS)} "
+        "(or pass a JSON file path)"
+    )
+
+
+#: Plan installed in the current *worker* process (None = no chaos).
+_WORKER_PLAN: Optional[FaultPlan] = None
+
+
+def install_worker_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` as this worker process's active fault plan."""
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def worker_plan() -> Optional[FaultPlan]:
+    """The fault plan active in this worker process (None = no chaos)."""
+    return _WORKER_PLAN

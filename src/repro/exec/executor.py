@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -35,6 +36,16 @@ _WORKER_PIPELINE = None
 def _initialize_worker(pipeline_factory: Callable[[], object]) -> None:
     """Build the worker-private pipeline once per pool process."""
     global _WORKER_PIPELINE
+    # Workers must not inherit the parent's signal handling (fork start
+    # method copies it): graceful shutdown is the parent's job.  SIGINT is
+    # ignored — Ctrl-C hits the whole process group, and the parent shuts
+    # the pool down; SIGTERM resets to default so pool teardown after a
+    # worker crash terminates siblings without tracebacks.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        pass
     _WORKER_PIPELINE = pipeline_factory()
 
 
@@ -94,6 +105,15 @@ class ExecutionStats:
     task_seconds: float = 0.0
     timings: List[TaskTiming] = field(default_factory=list)
     batches: int = 0
+    #: Resilience counters (filled by :mod:`repro.exec.resilience`): tasks
+    #: re-run after a transient failure, dispatches abandoned past the task
+    #: timeout, straggler duplicates submitted, worker pools rebuilt after
+    #: process death, and cache entries quarantined as corrupt.
+    retries: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    quarantined: int = 0
 
     def record(self, timing: TaskTiming) -> None:
         """Account one finished task (cached or freshly executed)."""
@@ -109,6 +129,16 @@ class ExecutionStats:
         if self.wall_seconds <= 0.0:
             return 1.0
         return self.task_seconds / self.wall_seconds
+
+    def resilience_events(self) -> Dict[str, int]:
+        """The resilience counters as a dict (all zero on a clean run)."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "requeues": self.requeues,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined": self.quarantined,
+        }
 
     def slowest_tasks(self, count: int = 5) -> List[TaskTiming]:
         """The ``count`` slowest executed (non-cached) tasks."""
@@ -399,22 +429,28 @@ class SweepExecutor:
             # cached and a retrying map() only re-runs the failed tasks.
             raise failures[0]
 
-    def close(self) -> None:
+    def close(self, *, cancel_pending: bool = False) -> None:
         """Shut the worker pool down (no-op for serial executors).
 
         Optional: an unclosed pool is joined at interpreter exit by
         :mod:`concurrent.futures`; use ``close()`` (or the context-manager
         form) for deterministic teardown in long-lived processes.
+        ``cancel_pending=True`` additionally cancels queued-but-unstarted
+        tasks — the interrupt path, where already-completed results are
+        already flushed to the cache and waiting on the queue tail would
+        only delay the exit.
         """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=True, cancel_futures=cancel_pending)
             self._pool = None
 
     def __enter__(self) -> "SweepExecutor":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        # On an exceptional exit (including KeyboardInterrupt) drop queued
+        # tasks: completed results are cached, the rest resumes next run.
+        self.close(cancel_pending=exc_type is not None)
 
     # ------------------------------------------------------------------ misc
     def baseline_accuracy(self) -> float:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import List, Sequence, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -84,3 +84,74 @@ class ShardSpec:
 
 #: The trivial 1-way split, used when no ``--shard`` was requested.
 FULL = ShardSpec(index=0, count=1)
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Validation of a sharded merge: exactly what is still unresolved.
+
+    Built by :func:`merge_report` from a positionally resolved variant
+    list.  Instead of surfacing an incomplete merge as a bare ``KeyError``
+    (or a vague "N missing"), the report names the missing variant
+    positions, maps them to the shard indices that own them under the
+    interleaved split, and can render the commands that compute them.
+    """
+
+    #: Length of the full variant list being merged.
+    total: int
+    #: Shard count of the split the merge is validated against.
+    count: int
+    #: Zero-based positions of the variants still unresolved.
+    missing_positions: Tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every variant position resolved to a result."""
+        return not self.missing_positions
+
+    @property
+    def missing(self) -> int:
+        """How many variant positions are unresolved."""
+        return len(self.missing_positions)
+
+    @property
+    def missing_shards(self) -> Tuple[int, ...]:
+        """Sorted shard indices owning the unresolved positions."""
+        return tuple(sorted({p % self.count for p in self.missing_positions}))
+
+    def resume_commands(self, template: str) -> List[str]:
+        """Concrete resume commands, one per absent shard.
+
+        ``template`` must contain a ``{shard}`` placeholder, e.g.
+        ``"python -m repro scenarios run NAME --shard {shard} --out OUT"``.
+        """
+        return [
+            template.format(shard=f"{index}/{self.count}")
+            for index in self.missing_shards
+        ]
+
+    def describe(self, *, limit: int = 8) -> str:
+        """One line naming missing positions and the shards that own them."""
+        if self.complete:
+            return f"all {self.total} variant(s) resolved"
+        shown = ", ".join(str(p) for p in self.missing_positions[:limit])
+        if self.missing > limit:
+            shown += f", … ({self.missing - limit} more)"
+        shards = ", ".join(f"{index}/{self.count}" for index in self.missing_shards)
+        return (
+            f"{self.missing} of {self.total} variant(s) unresolved "
+            f"(position(s) {shown}) — owned by shard(s) {shards}"
+        )
+
+
+def merge_report(resolved: Sequence[Optional[object]], spec: ShardSpec) -> MergeReport:
+    """Validate a merge attempt: ``None`` entries in ``resolved`` are missing.
+
+    ``resolved`` is the positionally aligned result list of a full variant
+    grid (as returned by ``SweepExecutor.peek_results``); ``spec`` carries
+    the shard count the campaign was split into.
+    """
+    missing = tuple(
+        position for position, result in enumerate(resolved) if result is None
+    )
+    return MergeReport(total=len(resolved), count=spec.count, missing_positions=missing)

@@ -55,6 +55,7 @@ from repro.defenses import (
     overhead_report,
 )
 from repro.exec.executor import PipelineFromConfig, SweepExecutor
+from repro.exec.resilience import ResiliencePolicy, ResilientExecutor
 from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
 from repro.utils.tables import format_table
 
@@ -99,6 +100,12 @@ class FigureContext:
         solver tolerance.  A pre-built ``pipeline`` keeps its own engine.
     executor:
         Fully custom executor (overrides ``pipeline``/``workers``/``cache``).
+    resilience:
+        Optional :class:`~repro.exec.resilience.ResiliencePolicy`; when
+        given, sweeps run through the fault-tolerant
+        :class:`~repro.exec.resilience.ResilientExecutor` (crash recovery,
+        retry/timeout/backoff, straggler re-dispatch, chaos injection).
+        ``None`` (the default) keeps the plain executor.
     """
 
     def __init__(
@@ -110,17 +117,25 @@ class FigureContext:
         cache=None,
         engine: str = "auto",
         executor: Optional[SweepExecutor] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if config is None and pipeline is not None:
             config = pipeline.config
         self.config = config or ExperimentConfig.from_environment()
         self.engine = engine
+        executor_class = SweepExecutor
+        executor_options = {}
+        if resilience is not None:
+            executor_class = ResilientExecutor
+            executor_options = {"policy": resilience}
         if executor is not None:
             self.executor = executor
         elif pipeline is not None:
-            self.executor = SweepExecutor(pipeline, workers=workers, cache=cache)
+            self.executor = executor_class(
+                pipeline, workers=workers, cache=cache, **executor_options
+            )
         else:
-            self.executor = SweepExecutor(
+            self.executor = executor_class(
                 pipeline_factory=PipelineFromConfig(
                     self.config,
                     # The SNN tier has no sparse mode; the sparse choice
@@ -129,6 +144,7 @@ class FigureContext:
                 ),
                 workers=workers,
                 cache=cache,
+                **executor_options,
             )
 
     @property
@@ -165,15 +181,19 @@ class FigureContext:
         """An attack campaign sharing this context's executor and cache."""
         return AttackCampaign(self.pipeline, executor=self.executor)
 
-    def close(self) -> None:
-        """Shut the executor's worker pool down (no-op when serial)."""
-        self.executor.close()
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Shut the executor's worker pool down (no-op when serial).
+
+        ``cancel_pending`` drops queued-but-unstarted work instead of
+        draining it — the graceful-shutdown path (Ctrl-C / SIGTERM).
+        """
+        self.executor.close(cancel_pending=cancel_pending)
 
     def __enter__(self) -> "FigureContext":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        self.close(cancel_pending=exc_type is not None)
 
 
 @dataclass(frozen=True)
@@ -218,6 +238,11 @@ class FigureResult:
     wall_seconds: float = 0.0
     executor_tasks: int = 0
     executor_cache_hits: int = 0
+    executor_retries: int = 0
+    executor_timeouts: int = 0
+    executor_requeues: int = 0
+    executor_pool_rebuilds: int = 0
+    cache_quarantined: int = 0
     workers: int = 0
 
     def render(self) -> str:
@@ -250,6 +275,7 @@ class FigureSpec:
         """Execute the figure and stamp execution metadata on the result."""
         stats = context.executor.stats
         tasks_before, hits_before = stats.tasks_executed, stats.cache_hits
+        events_before = stats.resilience_events()
         start = time.perf_counter()
         result = self.runner(context)
         result.wall_seconds = time.perf_counter() - start
@@ -258,6 +284,14 @@ class FigureSpec:
         result.scale_name = context.scale
         result.executor_tasks = stats.tasks_executed - tasks_before
         result.executor_cache_hits = stats.cache_hits - hits_before
+        events = stats.resilience_events()
+        result.executor_retries = events["retries"] - events_before["retries"]
+        result.executor_timeouts = events["timeouts"] - events_before["timeouts"]
+        result.executor_requeues = events["requeues"] - events_before["requeues"]
+        result.executor_pool_rebuilds = (
+            events["pool_rebuilds"] - events_before["pool_rebuilds"]
+        )
+        result.cache_quarantined = events["quarantined"] - events_before["quarantined"]
         result.workers = context.executor.workers
         return result
 

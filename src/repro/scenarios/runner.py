@@ -28,7 +28,8 @@ import numpy as np
 
 from repro.core.config import ExperimentConfig
 from repro.exec.executor import PipelineFromConfig, SweepExecutor
-from repro.exec.shard import FULL, ShardSpec
+from repro.exec.resilience import ResiliencePolicy, ResilientExecutor
+from repro.exec.shard import FULL, ShardSpec, merge_report
 from repro.figures import FigureTable
 from repro.scenarios.registry import Scenario
 from repro.scenarios.spec import ScenarioSpec, ScenarioVariant
@@ -57,6 +58,8 @@ class ScenarioResult:
     shard: str = "0/1"
     complete: bool = True
     missing: int = 0
+    missing_positions: List[int] = field(default_factory=list)
+    missing_shards: List[int] = field(default_factory=list)
     sharded_out: bool = False
     metrics: Dict[str, float] = field(default_factory=dict)
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
@@ -65,6 +68,11 @@ class ScenarioResult:
     wall_seconds: float = 0.0
     executor_tasks: int = 0
     executor_cache_hits: int = 0
+    executor_retries: int = 0
+    executor_timeouts: int = 0
+    executor_requeues: int = 0
+    executor_pool_rebuilds: int = 0
+    cache_quarantined: int = 0
     workers: int = 0
 
     def render(self) -> str:
@@ -94,6 +102,12 @@ class ScenarioRunner:
         Test hook — a callable ``(config, engine) -> factory`` replacing
         :class:`~repro.exec.executor.PipelineFromConfig`, letting tests
         drive scenarios through stub pipelines.
+    resilience:
+        Optional :class:`~repro.exec.resilience.ResiliencePolicy`; when
+        given, scenarios run through
+        :class:`~repro.exec.resilience.ResilientExecutor` (crash recovery,
+        retry/timeout/backoff, straggler re-dispatch, chaos injection)
+        instead of the plain :class:`SweepExecutor`.
     """
 
     def __init__(
@@ -105,12 +119,14 @@ class ScenarioRunner:
         cache=None,
         shard: ShardSpec = FULL,
         pipeline_factory=None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.scale = scale
         self.workers = workers
         self.engine = engine
         self.cache = cache
         self.shard = shard
+        self.resilience = resilience
         self._pipeline_factory = pipeline_factory or PipelineFromConfig
         self._executors: Dict[Tuple[str, str], SweepExecutor] = {}
 
@@ -132,23 +148,37 @@ class ScenarioRunner:
         engine = self.engine_for(scenario)
         key = (config.scale_name, engine)
         if key not in self._executors:
-            self._executors[key] = SweepExecutor(
-                pipeline_factory=self._pipeline_factory(config, engine=engine),
-                workers=self.workers,
-                cache=self.cache,
-            )
+            factory = self._pipeline_factory(config, engine=engine)
+            if self.resilience is not None:
+                self._executors[key] = ResilientExecutor(
+                    pipeline_factory=factory,
+                    workers=self.workers,
+                    cache=self.cache,
+                    policy=self.resilience,
+                )
+            else:
+                self._executors[key] = SweepExecutor(
+                    pipeline_factory=factory,
+                    workers=self.workers,
+                    cache=self.cache,
+                )
         return self._executors[key]
 
-    def close(self) -> None:
-        """Shut every executor's worker pool down (no-op when serial)."""
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Shut every executor's worker pool down (no-op when serial).
+
+        ``cancel_pending`` drops queued-but-unstarted work instead of
+        draining it — the graceful-shutdown path (Ctrl-C / SIGTERM), where
+        every completed result is already flushed to the persistent cache.
+        """
         for executor in self._executors.values():
-            executor.close()
+            executor.close(cancel_pending=cancel_pending)
 
     def __enter__(self) -> "ScenarioRunner":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        self.close(cancel_pending=exc_type is not None)
 
     # ------------------------------------------------------------------- runs
     def run(self, scenario: Scenario) -> ScenarioResult:
@@ -156,6 +186,7 @@ class ScenarioRunner:
         executor = self.executor_for(scenario)
         stats = executor.stats
         tasks_before, hits_before = stats.tasks_executed, stats.cache_hits
+        events_before = stats.resilience_events()
         start = time.perf_counter()
         if scenario.strategy == "bisect":
             result = self._run_bisect(scenario, executor)
@@ -170,6 +201,14 @@ class ScenarioRunner:
         result.wall_seconds = time.perf_counter() - start
         result.executor_tasks = stats.tasks_executed - tasks_before
         result.executor_cache_hits = stats.cache_hits - hits_before
+        events = stats.resilience_events()
+        result.executor_retries = events["retries"] - events_before["retries"]
+        result.executor_timeouts = events["timeouts"] - events_before["timeouts"]
+        result.executor_requeues = events["requeues"] - events_before["requeues"]
+        result.executor_pool_rebuilds = (
+            events["pool_rebuilds"] - events_before["pool_rebuilds"]
+        )
+        result.cache_quarantined = events["quarantined"] - events_before["quarantined"]
         result.workers = executor.workers
         return result
 
@@ -184,10 +223,12 @@ class ScenarioRunner:
             executor.map([None] + [variant.attack for variant in mine])
         resolved = executor.peek_results([variant.attack for variant in variants])
         baseline = executor.peek_results([None])[0]
-        missing = sum(1 for result in resolved if result is None)
+        report = merge_report(resolved, self.shard)
         result = ScenarioResult(
-            complete=missing == 0 and baseline is not None,
-            missing=missing + (1 if baseline is None else 0),
+            complete=report.complete and baseline is not None,
+            missing=report.missing + (1 if baseline is None else 0),
+            missing_positions=list(report.missing_positions),
+            missing_shards=list(report.missing_shards),
         )
         if not result.complete:
             return result

@@ -18,6 +18,19 @@ Two persistence layers back the ``python -m repro`` CLI:
 
 Artifacts are forward-compatible through ``schema_version``; loaders
 reject documents from a newer schema instead of misreading them.
+
+Both layers are hardened against the failure modes of real campaigns:
+
+* Every file (JSON document, NPZ array bundle, cache flush) is written
+  atomically — temp file in the same directory, ``fsync``, ``os.replace``
+  — so a process killed mid-write can never leave a half-written artifact
+  that later fails digest checks; the worst case is losing the write.
+* Every persisted cache entry carries a SHA-256 digest of its content.
+  A corrupt entry (or a truncated/empty/unparseable cache file) is
+  **quarantined** on load — moved aside with a warning and recomputed as
+  a cache miss — instead of crashing the campaign or, worse, silently
+  serving wrong numbers.  Quarantine counts surface in executor stats and
+  artifact provenance (see :mod:`repro.exec.resilience`).
 """
 
 from __future__ import annotations
@@ -27,9 +40,11 @@ import hashlib
 import json
 import os
 import platform
+import shutil
 import subprocess
 import sys
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
@@ -45,6 +60,17 @@ from repro.utils.serialization import to_jsonable
 
 #: Version of the artifact document layout.  Bump on breaking changes.
 SCHEMA_VERSION = 1
+
+
+class CacheCorruptionError(ValueError):
+    """A persistent cache file is unreadable or not a cache document.
+
+    A :class:`ValueError` subclass so existing sibling-preload error
+    handling keeps working; the cache's own loader catches it to
+    quarantine the file instead of crashing.  Schema-newer files raise a
+    plain :class:`ValueError` — refusing a future format is not
+    corruption and must stay loud.
+    """
 
 
 def git_revision(repo_root: Optional[Path] = None) -> str:
@@ -113,6 +139,16 @@ def build_provenance(
         "workers": result.workers,
         "executor_tasks": result.executor_tasks,
         "executor_cache_hits": result.executor_cache_hits,
+        # Fault-tolerance counters (repro.exec.resilience): all zero on a
+        # clean run, nonzero when faults (real or --chaos-injected) were
+        # recovered from — the numbers themselves are unaffected.
+        "resilience": {
+            "retries": getattr(result, "executor_retries", 0),
+            "timeouts": getattr(result, "executor_timeouts", 0),
+            "requeues": getattr(result, "executor_requeues", 0),
+            "pool_rebuilds": getattr(result, "executor_pool_rebuilds", 0),
+            "cache_quarantined": getattr(result, "cache_quarantined", 0),
+        },
         "versions": {
             "repro": repro.__version__,
             "numpy": np.__version__,
@@ -135,7 +171,7 @@ def save_figure_result(
     json_path = out_dir / f"{spec.name}.json"
     npz_path = out_dir / f"{spec.name}.npz"
 
-    np.savez(npz_path, **result.arrays)
+    _atomic_write_npz(npz_path, result.arrays)
     document = {
         "schema_version": SCHEMA_VERSION,
         "figure": spec.name,
@@ -294,7 +330,7 @@ def save_scenario_result(
     json_path = out_dir / f"scenario-{scenario.name}.json"
     npz_path = out_dir / f"scenario-{scenario.name}.npz"
 
-    np.savez(npz_path, **result.arrays)
+    _atomic_write_npz(npz_path, result.arrays)
     document = {
         "schema_version": SCHEMA_VERSION,
         "scenario": scenario.name,
@@ -338,10 +374,45 @@ def is_scenario_artifact(json_path: Path | str) -> bool:
 
 
 def _atomic_write_json(path: Path, payload: Any) -> None:
+    """Write ``payload`` as JSON via temp file + fsync + rename.
+
+    ``os.replace`` within one directory is atomic on POSIX, so readers see
+    either the previous complete file or the new complete file — never a
+    torn write, even when the process is killed mid-``json.dump``.
+    """
     tmp_path = path.with_suffix(path.suffix + ".tmp")
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp_path, path)
+
+
+def _atomic_write_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write an NPZ bundle via temp file + fsync + rename (see above)."""
+    tmp_path = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _entry_digest(fields: Mapping[str, Any]) -> str:
+    """SHA-256 of one cache entry's canonical JSON content."""
+    return hashlib.sha256(
+        json.dumps(fields, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def quarantine_path(path: Path) -> Path:
+    """A fresh ``<name>.quarantined[-N]`` sibling path for a corrupt file."""
+    candidate = path.with_name(path.name + ".quarantined")
+    counter = 0
+    while candidate.exists():
+        counter += 1
+        candidate = path.with_name(f"{path.name}.quarantined-{counter}")
+    return candidate
 
 
 class PersistentResultCache(ResultCache):
@@ -354,31 +425,109 @@ class PersistentResultCache(ResultCache):
     re-run of the same figures completes from cache hits alone.  Values of
     other types stay in memory only (the executor never produces them for
     the registered figures).
+
+    Every persisted entry carries a SHA-256 digest of its content, checked
+    on load.  Corrupt state never crashes a campaign and never silently
+    serves wrong numbers: an unreadable/truncated/empty cache file is
+    **quarantined** (moved aside with a :class:`RuntimeWarning`) and the
+    cache starts fresh; individual entries failing their digest are
+    dropped (the file is copied aside once for post-mortem) and recomputed
+    as cache misses.  ``quarantined_entries`` / ``quarantined_files``
+    record what happened, and flow into executor stats and artifact
+    provenance through :class:`repro.exec.resilience.ResilientExecutor`.
+    A cache file from a *newer* schema still raises: refusing to guess at
+    a future format is not a corruption-recovery case.
     """
 
     def __init__(self, path: Path | str) -> None:
         super().__init__()
         self.path = Path(path)
         self._persisted: Dict[str, Dict[str, Any]] = {}
+        #: Entries dropped for failing their content digest (all files).
+        self.quarantined_entries = 0
+        #: Corrupt files moved (or copied) aside, in quarantine order.
+        self.quarantined_files: list = []
         if self.path.exists():
-            for key, fields, result in self._read_entries(self.path):
-                self._persisted[key] = fields
-                self._results[key] = result
+            self._load_own_file()
+
+    def _load_own_file(self) -> None:
+        """Adopt this cache's own file, quarantining corrupt state."""
+        try:
+            entries, bad = self._read_entries(self.path)
+        except CacheCorruptionError as error:
+            moved = quarantine_path(self.path)
+            os.replace(self.path, moved)
+            self.quarantined_files.append(moved)
+            warnings.warn(
+                f"quarantined corrupt result cache {self.path} -> {moved.name} "
+                f"({error}); its results will be recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        if bad:
+            # Keep the good entries, but preserve the damaged original for
+            # post-mortem before the next flush overwrites it.
+            copied = quarantine_path(self.path)
+            shutil.copy2(self.path, copied)
+            self.quarantined_files.append(copied)
+            self.quarantined_entries += bad
+            warnings.warn(
+                f"dropped {bad} corrupt entr{'y' if bad == 1 else 'ies'} from "
+                f"result cache {self.path} (digest mismatch; original copied "
+                f"to {copied.name}); they will be recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        for key, fields, result in entries:
+            self._persisted[key] = fields
+            self._results[key] = result
 
     @staticmethod
     def _read_entries(path: Path):
-        """Yield ``(key, raw_fields, ExperimentResult)`` from one cache file."""
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        """Read one cache file; returns ``(entries, corrupt_count)``.
+
+        ``entries`` is a list of ``(key, raw_fields, ExperimentResult)``
+        for every entry that parsed and passed its digest check;
+        ``corrupt_count`` counts entries that failed it.  Raises
+        :class:`CacheCorruptionError` when the file as a whole is not a
+        cache document (unreadable, truncated, empty, not a JSON object)
+        and plain :class:`ValueError` for newer-schema files.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise CacheCorruptionError(f"cannot read cache file: {error}") from None
+        except ValueError as error:
+            raise CacheCorruptionError(f"not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise CacheCorruptionError("cache document is not a JSON object")
         version = payload.get("schema_version")
-        if not isinstance(version, int) or version > SCHEMA_VERSION:
+        if not isinstance(version, int):
+            raise CacheCorruptionError(f"missing/invalid schema_version {version!r}")
+        if version > SCHEMA_VERSION:
             raise ValueError(
                 f"{path} has cache schema {version!r}; this build "
                 f"reads schemas <= {SCHEMA_VERSION} — delete the file to "
                 "start a fresh cache"
             )
-        entries = payload.get("results", {})
-        for key, fields in entries.items():
+        raw = payload.get("results", {})
+        if not isinstance(raw, dict):
+            raise CacheCorruptionError("cache 'results' is not a JSON object")
+        entries = []
+        corrupt = 0
+        for key, entry in raw.items():
+            if isinstance(entry, dict) and "fields" in entry:
+                fields = entry.get("fields")
+                digest = entry.get("sha256")
+                if not isinstance(fields, dict) or _entry_digest(fields) != digest:
+                    corrupt += 1
+                    continue
+            else:
+                # Entry written before per-entry digests existed: accept
+                # (layout unchanged, just unverifiable).
+                fields = entry
             try:
                 result = ExperimentResult(**fields)
             except TypeError:
@@ -386,7 +535,8 @@ class PersistentResultCache(ResultCache):
                 # (same schema, drifted fields): drop it — a cache miss
                 # re-trains the point, a bad hit would corrupt figures.
                 continue
-            yield key, fields, result
+            entries.append((key, fields, result))
+        return entries, corrupt
 
     def preload(self, path: Path | str) -> int:
         """Seed in-memory entries from *another* cache file, without adopting.
@@ -395,13 +545,25 @@ class PersistentResultCache(ResultCache):
         preloads) win.  Preloaded results are served as cache hits but are
         **not** re-persisted to this cache's file, so concurrent shard
         invocations writing disjoint files never clobber each other's
-        entries.  Returns the number of entries added.
+        entries.  Corrupt sibling entries are skipped (counted in
+        ``quarantined_entries``) but the sibling file is left untouched —
+        its owning shard quarantines it.  Returns the number of entries
+        added.
         """
         path = Path(path)
         added = 0
         if not path.exists():
             return added
-        for key, _fields, result in self._read_entries(path):
+        entries, bad = self._read_entries(path)
+        self.quarantined_entries += bad
+        if bad:
+            warnings.warn(
+                f"skipped {bad} corrupt entr{'y' if bad == 1 else 'ies'} while "
+                f"preloading sibling cache {path}; they will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for key, _fields, result in entries:
             if key not in self._results:
                 self._results[key] = result
                 added += 1
@@ -417,13 +579,17 @@ class PersistentResultCache(ResultCache):
         """
         super().put(key, result)
         if isinstance(result, ExperimentResult):
-            self._persisted[key] = dataclasses.asdict(result)
+            fields = dataclasses.asdict(result)
+            self._persisted[key] = fields
             self._flush()
 
     def _flush(self) -> None:
         payload: Mapping[str, Any] = {
             "schema_version": SCHEMA_VERSION,
-            "results": self._persisted,
+            "results": {
+                key: {"fields": fields, "sha256": _entry_digest(fields)}
+                for key, fields in self._persisted.items()
+            },
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_json(self.path, payload)
