@@ -19,7 +19,11 @@ the Fig. 8 grids); the executor's measured speedup is reported by
 ``format_execution_report``.
 """
 
+import dataclasses
+import multiprocessing
 import time
+
+import pytest
 
 from repro.attacks import Attack2ExcitatoryThreshold, AttackCampaign
 from repro.core.reporting import format_execution_report
@@ -34,10 +38,16 @@ GRID_THRESHOLD_CHANGES = (-0.2, -0.1, 0.1, 0.2)
 GRID_FRACTIONS = (0.5, 1.0)
 
 
+@dataclasses.dataclass(frozen=True)
 class WaitBoundConfig:
-    """Minimal picklable config for the stand-in pipeline."""
+    """Minimal picklable config for the stand-in pipeline.
 
-    scale_name = "wait-bound"
+    A dataclass so the executor's cache scope is derived from its *content*
+    (stable across processes) — the elastic benchmark merges caches written
+    by independently-launched workers.
+    """
+
+    scale_name: str = "wait-bound"
 
 
 class WaitBoundPipeline:
@@ -139,6 +149,100 @@ def test_resilient_sweep_under_chaos_matches_clean_run(benchmark):
         assert left.attack_label == right.attack_label
         assert left.accuracy == right.accuracy
     assert chaotic.stats.retries == len(attacks)
+
+
+def _run_elastic_worker(workdir: str, worker_id: str) -> None:
+    """One cooperating elastic process of the scaling benchmark.
+
+    Module-level so it is importable by child processes; each worker opens
+    its own persistent cache, joins the shared lease board and drains
+    whatever chunks it can claim or steal.
+    """
+    from repro.exec import ElasticPolicy, ElasticScheduler, build_chunks
+    from repro.store import open_worker_cache
+
+    attacks = _grid_attacks()
+    cache = open_worker_cache(workdir, worker_id)
+    executor = SweepExecutor(
+        None, workers=0, pipeline_factory=build_wait_bound_pipeline, cache=cache
+    )
+    scheduler = ElasticScheduler(
+        workdir,
+        "bench",
+        policy=ElasticPolicy(lease_ttl=30.0, chunk_size=1, poll_interval=0.02),
+        owner=worker_id,
+        stats=executor.stats,
+    )
+    chunks = build_chunks(len(attacks), 1)
+    scheduler.drain(
+        chunks,
+        lambda chunk: executor.map([attacks[i] for i in chunk.positions]),
+    )
+
+
+def _elastic_drain_seconds(workdir, n_workers: int) -> float:
+    """Wall-clock of ``n_workers`` cooperating processes draining the grid."""
+    context = multiprocessing.get_context("fork")
+    start = time.perf_counter()
+    processes = [
+        context.Process(
+            target=_run_elastic_worker, args=(str(workdir), f"bench-w{i}")
+        )
+        for i in range(n_workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    return time.perf_counter() - start
+
+
+def test_elastic_scaling_one_to_four_processes(benchmark, tmp_path):
+    """Work-stealing over the shard-cache substrate scales like the pool.
+
+    One process drains the wait-bound grid serially; four cooperating
+    processes split it dynamically through lease files.  The union of the
+    per-worker caches must resolve every variant to the same bits the
+    serial executor computes.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    from repro.exec import build_chunks
+    from repro.store import open_worker_cache
+
+    attacks = _grid_attacks()
+    single_dir, fleet_dir = tmp_path / "single", tmp_path / "fleet"
+    single_seconds = _elastic_drain_seconds(single_dir, 1)
+
+    fleet_seconds = benchmark.pedantic(
+        _elastic_drain_seconds, args=(fleet_dir, 4), rounds=1, iterations=1
+    )
+
+    speedup = single_seconds / fleet_seconds
+    print(
+        f"\nelastic 1 proc {single_seconds:.2f} s, 4 procs "
+        f"{fleet_seconds:.2f} s, speedup {speedup:.2f}x "
+        f"over {len(attacks)} tasks"
+    )
+    benchmark.extra_info["elastic_speedup"] = round(speedup, 3)
+    benchmark.extra_info["single_process_seconds"] = round(single_seconds, 3)
+    benchmark.extra_info["four_process_seconds"] = round(fleet_seconds, 3)
+    benchmark.extra_info["tasks"] = len(attacks)
+    benchmark.extra_info["chunks"] = len(build_chunks(len(attacks), 1))
+
+    # Result parity: the union of the fleet's caches matches a serial run.
+    serial = SweepExecutor(WaitBoundPipeline(), workers=0)
+    serial_results = serial.map(attacks)
+    union = open_worker_cache(fleet_dir, "checker")
+    merged = SweepExecutor(
+        None, workers=0, pipeline_factory=build_wait_bound_pipeline, cache=union
+    ).peek_results(attacks)
+    assert all(result is not None for result in merged)
+    for left, right in zip(serial_results, merged):
+        assert left.attack_label == right.attack_label
+        assert left.accuracy == right.accuracy
+    assert speedup >= 2.0, f"expected >=2x with 4 processes, measured {speedup:.2f}x"
 
 
 def test_parallel_campaign_matches_serial_bit_for_bit(tiny_pipeline_config):

@@ -27,7 +27,17 @@ Scenario subcommands (the declarative threat-scenario subsystem,
     campaign across independent invocations: each shard writes its own
     cache file, and whichever invocation finds the union complete writes
     the merged artifact — bit-identical to an unsharded run.  ``--file``
-    loads additional scenario specs from YAML/JSON.
+    loads additional scenario specs from YAML/JSON.  ``--elastic`` replaces
+    the static split with a coordinator-free work-stealing drain
+    (:mod:`repro.exec.elastic`): start N copies of the same command against
+    one ``--out`` and they claim variant chunks through heartbeat lease
+    files, steal leases from crashed peers and duplicate stragglers —
+    the merged artifact stays bit-identical no matter which workers
+    survive.
+``scenarios clean``
+    Sweep stale elastic coordination state (expired leases, orphaned
+    markers and heartbeats) from a campaign directory; dry-run by
+    default, ``--apply`` deletes.
 ``scenarios report``
     Render stored scenario artifacts as summary tables.
 
@@ -48,6 +58,8 @@ Examples::
     python -m repro scenarios list
     python -m repro scenarios run --all --scale smoke --out results/
     python -m repro scenarios run vdd_droop_fine --shard 0/4 --out results/
+    python -m repro scenarios run --all --elastic --out results/  # xN procs
+    python -m repro scenarios clean results/ --apply
     python -m repro scenarios report results/
 """
 
@@ -62,10 +74,12 @@ from typing import List, Optional, Sequence
 from repro.core.config import ExperimentConfig
 from repro.core.reporting import (
     format_artifact_summary,
+    format_recovered_faults,
     format_execution_report,
     format_paper_comparison,
 )
 from repro.exec.chaos import CHAOS_PLANS, load_fault_plan
+from repro.exec.elastic import DEFAULT_CHUNK_SIZE, DEFAULT_LEASE_TTL, ElasticPolicy
 from repro.exec.resilience import ResiliencePolicy
 from repro.figures import FigureContext, figure_names, get_figure, iter_figures
 from repro.store import (
@@ -237,7 +251,61 @@ def build_parser() -> argparse.ArgumentParser:
         "variant list (adaptive scenarios are whole-scenario assigned); "
         "run every shard, then any invocation merges the artifacts",
     )
+    scen_run.add_argument(
+        "--elastic",
+        action="store_true",
+        help="join a coordinator-free work-stealing drain of each scenario "
+        "over --out: start N copies of this command and they split the "
+        "variant list dynamically through lease files, steal work from "
+        "crashed peers and merge a bit-identical artifact (mutually "
+        "exclusive with --shard)",
+    )
+    scen_run.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable identity of this elastic worker "
+        "(default: <hostname>-<pid>)",
+    )
+    scen_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="elastic lease heartbeat time-to-live: a lease not renewed "
+        f"for this long is stolen by peers (default: {DEFAULT_LEASE_TTL:g})",
+    )
+    scen_run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        metavar="N",
+        help="variants per elastic lease chunk "
+        f"(default: {DEFAULT_CHUNK_SIZE})",
+    )
     _add_scale_workers_engine(scen_run)
+
+    scen_clean = scen_sub.add_parser(
+        "clean",
+        help="sweep stale elastic coordination state from a campaign "
+        "directory (dry-run by default)",
+    )
+    scen_clean.add_argument(
+        "workdir", metavar="DIR", help="campaign/artifact directory to sweep"
+    )
+    scen_clean.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete the stale files (default: only list them)",
+    )
+    scen_clean.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=DEFAULT_LEASE_TTL,
+        metavar="SECONDS",
+        help="lease time-to-live used to judge staleness "
+        f"(default: {DEFAULT_LEASE_TTL:g})",
+    )
 
     scen_report = scen_sub.add_parser(
         "report", help="summarise stored scenario artifacts"
@@ -468,13 +536,33 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     from repro.scenarios import ScenarioRunner, get_scenario
 
     names = _resolve_scenarios(args)
+    if args.elastic and args.shard:
+        raise SystemExit(
+            "--elastic and --shard are mutually exclusive: elastic leases "
+            "replace the static split"
+        )
     shard = ShardSpec.parse(args.shard) if args.shard else FULL
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     policy = _resilience_from_args(args)
     if policy.chaos is not None:
         policy.chaos.apply_disk(out_dir)
-    cache = open_shard_cache(out_dir, shard)
+    elastic = None
+    if args.elastic:
+        try:
+            elastic = ElasticPolicy(
+                lease_ttl=args.lease_ttl, chunk_size=args.chunk_size
+            )
+        except ValueError as error:
+            raise SystemExit(f"--elastic: {error}") from None
+        from repro.exec.elastic import default_worker_id
+        from repro.store import open_worker_cache
+
+        worker_id = args.worker_id or default_worker_id()
+        cache = open_worker_cache(out_dir, worker_id)
+    else:
+        worker_id = args.worker_id
+        cache = open_shard_cache(out_dir, shard)
     git_sha = git_revision()
     pending = 0
 
@@ -485,23 +573,54 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         cache=cache,
         shard=shard,
         resilience=policy,
+        elastic=elastic,
+        workdir=out_dir if elastic is not None else None,
+        worker_id=worker_id,
     ) as runner:
         for name in names:
             scenario = get_scenario(name)
             config = runner.config_for(scenario)
+            coordinate = (
+                f"worker {runner.worker_id}" if elastic else f"shard {shard}"
+            )
             print(
                 f"[{name}] {scenario.title or name} "
-                f"(scale {config.scale_name}, shard {shard})..."
+                f"(scale {config.scale_name}, {coordinate})..."
             )
             result = runner.run(scenario)
             if result.sharded_out:
-                print(f"[{name}] adaptive scenario owned by another shard; skipped")
+                if elastic is not None:
+                    print(
+                        f"[{name}] adaptive scenario leased by another "
+                        "elastic worker; skipped"
+                    )
+                else:
+                    print(
+                        f"[{name}] adaptive scenario owned by another shard; "
+                        "skipped"
+                    )
                 continue
             if not result.complete:
                 pending += 1
                 positions = ", ".join(str(p) for p in result.missing_positions[:8])
                 if len(result.missing_positions) > 8:
                     positions += f", … ({len(result.missing_positions) - 8} more)"
+                if elastic is not None:
+                    print(
+                        f"[{name}] elastic pass done in "
+                        f"{result.wall_seconds:.2f} s "
+                        f"({result.executor_tasks} pipeline runs); "
+                        f"{result.missing} variant(s) unresolved"
+                        + (f": position(s) {positions}" if positions else "")
+                        + f" — {len(result.unclaimed_positions)} never "
+                        f"claimed, {len(result.lost_positions)} leased "
+                        "but lost"
+                    )
+                    print(
+                        f"[{name}]   resume with: python -m repro scenarios "
+                        f"run {name} --elastic --out {args.out}"
+                    )
+                    continue
                 owners = ", ".join(
                     f"{index}/{shard.count}" for index in result.missing_shards
                 )
@@ -529,7 +648,36 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 f"{result.executor_cache_hits} cache hits) -> {paths.json_path}"
             )
     if pending:
-        print(f"{pending} scenario(s) await results from other shards")
+        if args.elastic:
+            print(
+                f"{pending} scenario(s) await results from elastic peers; "
+                "re-run to resume"
+            )
+        else:
+            print(f"{pending} scenario(s) await results from other shards")
+    return 0
+
+
+def _cmd_scenarios_clean(args: argparse.Namespace) -> int:
+    """Sweep stale elastic leases, markers and heartbeats (dry-run default)."""
+    from repro.exec.elastic import sweep_stale_artifacts
+
+    workdir = Path(args.workdir)
+    if not workdir.is_dir():
+        print(f"{workdir} is not a directory", file=sys.stderr)
+        return 1
+    entries = sweep_stale_artifacts(
+        workdir, lease_ttl=args.lease_ttl, apply=args.apply, stream=sys.stdout
+    )
+    if not entries:
+        print(f"nothing stale under {workdir}")
+    elif not args.apply:
+        print(
+            f"{len(entries)} stale file(s) found; re-run with --apply to "
+            "delete them"
+        )
+    else:
+        print(f"removed {len(entries)} stale file(s)")
     return 0
 
 
@@ -574,6 +722,7 @@ def _cmd_scenarios_report(args: argparse.Namespace) -> int:
                 provenance.get("scale", "?"),
                 f"{metrics.get('baseline_accuracy', float('nan')):.4f}",
                 headline,
+                format_recovered_faults(provenance),
             ]
         )
         for table in document.get("tables", []):
@@ -586,7 +735,14 @@ def _cmd_scenarios_report(args: argparse.Namespace) -> int:
     if rows:
         print(
             format_table(
-                ["scenario", "strategy", "scale", "baseline", "headline"],
+                [
+                    "scenario",
+                    "strategy",
+                    "scale",
+                    "baseline",
+                    "headline",
+                    "recovered faults",
+                ],
                 rows,
                 title=f"Scenario campaign summary ({len(rows)} artifacts)",
             )
@@ -612,6 +768,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _cmd_scenarios_list(args)
         if args.scenario_command == "run":
             return _cmd_scenarios_run(args)
+        if args.scenario_command == "clean":
+            return _cmd_scenarios_clean(args)
         return _cmd_scenarios_report(args)
     return _cmd_report(args)
 

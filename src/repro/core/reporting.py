@@ -108,12 +108,50 @@ def format_execution_report(stats: "ExecutionStats", *, slowest: int = 5) -> str
     for key, count in stats.resilience_events().items():
         if count:
             rows.append((labels[key], str(count)))
+    # Elastic work-stealing counters, likewise only on elastic runs.
+    elastic_labels = {
+        "leases_claimed": "chunk leases claimed",
+        "leases_stolen": "expired leases stolen",
+        "leases_expired": "lease expiries observed",
+        "duplicate_wins": "duplicate first-result wins",
+        "peers_joined": "elastic peers seen",
+        "peers_lost": "elastic peers lost",
+    }
+    for key, count in stats.elastic_events().items():
+        if count:
+            rows.append((elastic_labels[key], str(count)))
     for timing in stats.slowest_tasks(slowest):
         # Drop the experiment-config scope prefix: within one report every
         # task shares it, and the attack content is the informative part.
         label = timing.key.rsplit("::", 1)[-1]
         rows.append((f"slowest: {label}", f"{timing.seconds:.2f} s"))
     return format_table(["quantity", "value"], rows, title="sweep execution")
+
+
+def format_recovered_faults(provenance: Mapping) -> str:
+    """Render an artifact's fault-recovery counters as one cell.
+
+    Folds the ``resilience`` block and the recovery-marking subset of the
+    ``elastic`` block into a ``key=count`` list ("-" when nothing fired).
+    "worker" is an id string, and "peers_joined" / "leases_claimed" fire
+    on every healthy elastic run, so none of those belong here — a clean
+    campaign must keep the compact "-" cell.
+    """
+    resilience = provenance.get("resilience", {}) or {}
+    fired = {key: count for key, count in resilience.items() if count}
+    elastic = provenance.get("elastic", {}) or {}
+    fired.update(
+        {
+            key: count
+            for key, count in elastic.items()
+            if isinstance(count, int)
+            and count
+            and key not in ("peers_joined", "leases_claimed")
+        }
+    )
+    if not fired:
+        return "-"
+    return ", ".join(f"{key}={count}" for key, count in sorted(fired.items()))
 
 
 def format_artifact_summary(documents: Sequence[Mapping]) -> str:
@@ -126,13 +164,7 @@ def format_artifact_summary(documents: Sequence[Mapping]) -> str:
     rows = []
     for document in documents:
         provenance = document.get("provenance", {})
-        resilience = provenance.get("resilience", {}) or {}
-        fired = {key: count for key, count in resilience.items() if count}
-        recovered = (
-            ", ".join(f"{key}={count}" for key, count in sorted(fired.items()))
-            if fired
-            else "-"
-        )
+        recovered = format_recovered_faults(provenance)
         rows.append(
             (
                 document.get("figure", "?"),

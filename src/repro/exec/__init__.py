@@ -31,9 +31,17 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   first-result-wins merges.  Configured by
   :class:`~repro.exec.resilience.ResiliencePolicy`.
 * :mod:`repro.exec.chaos` — the deterministic fault-injection harness
-  (seeded :class:`~repro.exec.chaos.FaultPlan`: kill/delay/raise/corrupt)
+  (seeded :class:`~repro.exec.chaos.FaultPlan`: kill/delay/raise/corrupt,
+  plus whole-process kill/stall and lease corruption for elastic drains)
   that regression-tests the resilience layer and backs the ``--chaos``
   CLI flag.
+* :class:`~repro.exec.elastic.ElasticScheduler` — coordinator-free
+  work-stealing over a shared directory (the ``--elastic`` flag): workers
+  claim variant chunks through atomic heartbeat lease files, steal leases
+  whose owner stopped renewing, duplicate stragglers with
+  first-result-wins completion markers, and merge bit-identical artifacts
+  from the union of per-worker caches.  Configured by
+  :class:`~repro.exec.elastic.ElasticPolicy`.
 
 Parallel execution is bit-identical to serial execution: every pipeline run
 derives its random streams from ``(config.seed, attack label)`` alone, never
@@ -44,6 +52,22 @@ which task or in what order.
 from repro.exec.cache import ResultCache, attack_cache_key
 from repro.exec.chaos import CHAOS_PLANS, Fault, FaultPlan, InjectedFault, load_fault_plan
 from repro.exec.circuits import CircuitSweepDispatcher
+from repro.exec.elastic import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_LEASE_TTL,
+    Chunk,
+    ElasticPolicy,
+    ElasticScheduler,
+    Lease,
+    LeaseBoard,
+    LeaseCorruptionError,
+    build_chunks,
+    default_worker_id,
+    find_stale_artifacts,
+    sweep_expired_leases,
+    sweep_stale_artifacts,
+    whole_chunk,
+)
 from repro.exec.executor import (
     ExecutionStats,
     PipelineFromConfig,
@@ -65,13 +89,27 @@ from repro.exec.snn_batch import PipelineBatchDispatcher
 
 __all__ = [
     "CHAOS_PLANS",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_LEASE_TTL",
     "FULL",
+    "Chunk",
+    "ElasticPolicy",
+    "ElasticScheduler",
     "Fault",
     "FaultPlan",
     "InjectedFault",
+    "Lease",
+    "LeaseBoard",
+    "LeaseCorruptionError",
     "MergeReport",
     "ShardSpec",
+    "build_chunks",
+    "default_worker_id",
+    "find_stale_artifacts",
     "merge_report",
+    "sweep_expired_leases",
+    "sweep_stale_artifacts",
+    "whole_chunk",
     "CircuitSweepDispatcher",
     "PipelineBatchDispatcher",
     "ResultCache",

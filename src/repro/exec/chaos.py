@@ -28,13 +28,27 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 #: Fault actions a plan may carry.
-ACTIONS = ("raise", "delay", "kill", "corrupt_cache")
+ACTIONS = (
+    "raise",
+    "delay",
+    "kill",
+    "corrupt_cache",
+    "kill_process",
+    "stall_process",
+    "corrupt_lease",
+)
+
+#: Whole-process faults targeting the elastic scheduling layer (see
+#: :meth:`FaultPlan.apply_elastic`): keys are ``"<worker>:<chunk>"`` so a
+#: plan can deterministically kill or stall one named worker mid-campaign.
+ELASTIC_ACTIONS = ("kill_process", "stall_process")
 
 
 class InjectedFault(RuntimeError):
@@ -64,8 +78,14 @@ class Fault:
         ``"raise"`` (transient in-task exception), ``"delay"`` (sleep for
         ``delay_seconds`` before computing — models a straggler or hang),
         ``"kill"`` (terminate the worker process mid-task, exercising
-        pool-rebuild recovery) or ``"corrupt_cache"`` (flip bytes of a
-        matching persisted cache entry on disk, exercising quarantine).
+        pool-rebuild recovery), ``"corrupt_cache"`` (flip bytes of a
+        matching persisted cache entry on disk, exercising quarantine),
+        ``"kill_process"`` (SIGKILL the *whole* elastic worker process
+        right after a lease claim — the host-death drill; peers must let
+        the lease expire and steal it), ``"stall_process"`` (sleep the
+        whole process for ``delay_seconds`` after a claim, exercising
+        straggler duplication) or ``"corrupt_lease"`` (overwrite matching
+        lease files with garbage, exercising quarantine-and-reclaim).
     match:
         Substring of the executor's content-based task cache key this
         fault applies to (``""`` matches every task).
@@ -127,7 +147,9 @@ class FaultPlan:
         return tuple(
             fault
             for fault in self.faults
-            if fault.action != "corrupt_cache" and fault.fires(self.seed, key, attempt)
+            if fault.action not in ("corrupt_cache", "corrupt_lease")
+            and fault.action not in ELASTIC_ACTIONS
+            and fault.fires(self.seed, key, attempt)
         )
 
     def apply(self, key: str, attempt: int, *, allow_kill: bool = True) -> None:
@@ -154,6 +176,53 @@ class FaultPlan:
                         f"in {key!r} (serial path, attempt {attempt})"
                     )
                 os._exit(fault.exit_code)
+
+    def elastic_faults(self, key: str, attempt: int) -> Tuple[Fault, ...]:
+        """The whole-process faults firing for one ``"<worker>:<chunk>"`` claim."""
+        return tuple(
+            fault
+            for fault in self.faults
+            if fault.action in ELASTIC_ACTIONS and fault.fires(self.seed, key, attempt)
+        )
+
+    def apply_elastic(self, key: str, attempt: int) -> None:
+        """Inject every firing whole-process fault for one lease claim.
+
+        Called by the elastic scheduler right *after* a claim succeeds, so
+        a ``kill_process`` fault leaves exactly the artifact a real crash
+        would: a lease whose heartbeats have stopped.  ``key`` is
+        ``"<worker>:<chunk>"``; the SIGKILL is genuine (no Python cleanup,
+        no atexit, no flush), making the peers' expiry-and-steal recovery
+        the only thing standing between the fault and a stalled campaign.
+        """
+        for fault in self.elastic_faults(key, attempt):
+            if fault.action == "stall_process":
+                time.sleep(fault.delay_seconds)
+            elif fault.action == "kill_process":
+                sigkill = getattr(signal, "SIGKILL", None)
+                if sigkill is not None:
+                    os.kill(os.getpid(), sigkill)
+                os._exit(fault.exit_code)  # pragma: no cover - non-POSIX fallback
+
+    def apply_leases(self, directory: Path | str) -> int:
+        """Apply every ``corrupt_lease`` fault to lease files under ``directory``.
+
+        Overwrites each matching ``*.lease`` with garbage that is not a
+        lease document; returns the number of files corrupted.  The
+        scheduler runs this once at startup (modelling corruption that
+        happened while no process was alive) and must quarantine-and-
+        reclaim every damaged lease.
+        """
+        directory = Path(directory)
+        faults = [f for f in self.faults if f.action == "corrupt_lease"]
+        if not faults or not directory.is_dir():
+            return 0
+        corrupted = 0
+        for lease_path in sorted(directory.glob("*.lease")):
+            if any(fault.match in lease_path.name for fault in faults):
+                corrupt_lease_file(lease_path)
+                corrupted += 1
+        return corrupted
 
     def count_firing(self, keys, action: str, attempt: int = 0) -> int:
         """How many of ``keys`` a given ``action`` fires on at ``attempt``.
@@ -266,6 +335,16 @@ def corrupt_cache_entry(cache_path: Path | str, *, match: str = "") -> int:
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )
     return corrupted
+
+
+def corrupt_lease_file(path: Path | str) -> None:
+    """Overwrite one lease file with bytes that are not a lease document.
+
+    The replacement still *looks* alive (fresh mtime), so the scheduler
+    must classify it as corrupt by content — quarantine it aside and
+    reclaim the chunk — rather than waiting for expiry.
+    """
+    Path(path).write_text('{"corrupt', encoding="utf-8")
 
 
 def truncate_file(path: Path | str, keep_bytes: int = 16) -> None:

@@ -114,6 +114,16 @@ class ExecutionStats:
     requeues: int = 0
     pool_rebuilds: int = 0
     quarantined: int = 0
+    #: Elastic work-stealing counters (filled by :mod:`repro.exec.elastic`):
+    #: chunk leases claimed (including steals), expired leases taken over,
+    #: lease expiries observed, straggler duplicates that won their done
+    #: marker, and cooperating worker processes seen joining / going silent.
+    leases_claimed: int = 0
+    leases_stolen: int = 0
+    leases_expired: int = 0
+    duplicate_wins: int = 0
+    peers_joined: int = 0
+    peers_lost: int = 0
 
     def record(self, timing: TaskTiming) -> None:
         """Account one finished task (cached or freshly executed)."""
@@ -138,6 +148,20 @@ class ExecutionStats:
             "requeues": self.requeues,
             "pool_rebuilds": self.pool_rebuilds,
             "quarantined": self.quarantined,
+        }
+
+    def elastic_events(self) -> Dict[str, int]:
+        """The elastic scheduler counters as a dict (all zero unless the
+        campaign ran under ``--elastic``; kept separate from
+        :meth:`resilience_events` so single-process resilience accounting
+        is unchanged)."""
+        return {
+            "leases_claimed": self.leases_claimed,
+            "leases_stolen": self.leases_stolen,
+            "leases_expired": self.leases_expired,
+            "duplicate_wins": self.duplicate_wins,
+            "peers_joined": self.peers_joined,
+            "peers_lost": self.peers_lost,
         }
 
     def slowest_tasks(self, count: int = 5) -> List[TaskTiming]:

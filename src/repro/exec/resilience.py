@@ -41,7 +41,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exec import executor as _executor
 from repro.exec.chaos import FaultPlan, install_worker_plan, worker_plan
@@ -222,6 +222,20 @@ class ResilientExecutor(SweepExecutor):
     def __init__(self, *args, policy: Optional[ResiliencePolicy] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.policy = policy if policy is not None else ResiliencePolicy()
+        #: Lease-aware dispatch hook (:mod:`repro.exec.elastic`): a callable
+        #: invoked around every serial task and on every supervision-loop
+        #: iteration.  The elastic scheduler installs its rate-limited
+        #: lease/presence renewal here, so long chunks keep heartbeating
+        #: while their tasks run.  ``None`` = no elastic coordination.
+        self.heartbeat: Optional[Callable[[], None]] = None
+
+    def _beat(self) -> None:
+        """Invoke the heartbeat hook; shared-FS hiccups must not kill tasks."""
+        if self.heartbeat is not None:
+            try:
+                self.heartbeat()
+            except OSError:  # pragma: no cover - shared-FS hiccup
+                pass
 
     def map(self, attacks) -> List:
         """Evaluate every attack (see :meth:`SweepExecutor.map`), then sync
@@ -235,6 +249,7 @@ class ResilientExecutor(SweepExecutor):
 
     # ------------------------------------------------------------------ serial
     def _run_serial(self, pending: Dict[str, object], total: int) -> None:
+        self._beat()
         if self.policy.chaos is None:
             if self.dispatcher.supports(self.pipeline, total):
                 if self._run_serial_batched(pending, total):
@@ -247,6 +262,7 @@ class ResilientExecutor(SweepExecutor):
             self.dispatcher.note_serial()
         done = 0
         for key, attack in pending.items():
+            self._beat()
             result, seconds = self._run_serial_task(key, attack)
             timing = TaskTiming(key=key, seconds=seconds, worker_mode="serial")
             self.cache.put(key, result)
@@ -369,6 +385,7 @@ class _Supervisor:
         for key in self.pending:
             self._submit(key)
         while any(self._active(key) for key in self.pending):
+            self.executor._beat()
             now = time.monotonic()
             self._launch_due_retries(now)
             if self.pool_broken:

@@ -103,6 +103,13 @@ class MergeReport:
     count: int
     #: Zero-based positions of the variants still unresolved.
     missing_positions: Tuple[int, ...] = ()
+    #: Elastic campaigns only: unresolved positions whose chunk was never
+    #: leased — any worker picks them up by simply re-running.
+    unclaimed_positions: Tuple[int, ...] = ()
+    #: Elastic campaigns only: unresolved positions whose lease was taken
+    #: but whose owner died past the re-dispatch budget (or left a corrupt
+    #: lease) — recoverable by re-running, but worth flagging loudly.
+    lost_positions: Tuple[int, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -113,6 +120,16 @@ class MergeReport:
     def missing(self) -> int:
         """How many variant positions are unresolved."""
         return len(self.missing_positions)
+
+    @property
+    def unclaimed(self) -> int:
+        """How many unresolved positions were never leased (elastic runs)."""
+        return len(self.unclaimed_positions)
+
+    @property
+    def lost(self) -> int:
+        """How many unresolved positions were leased but lost (elastic runs)."""
+        return len(self.lost_positions)
 
     @property
     def missing_shards(self) -> Tuple[int, ...]:
@@ -137,6 +154,14 @@ class MergeReport:
         shown = ", ".join(str(p) for p in self.missing_positions[:limit])
         if self.missing > limit:
             shown += f", … ({self.missing - limit} more)"
+        if self.unclaimed_positions or self.lost_positions:
+            # Elastic campaigns: ownership is dynamic, so report the
+            # categories instead of static shard coordinates.
+            return (
+                f"{self.missing} of {self.total} variant(s) unresolved "
+                f"(position(s) {shown}) — {self.unclaimed} never claimed, "
+                f"{self.lost} leased but lost"
+            )
         shards = ", ".join(f"{index}/{self.count}" for index in self.missing_shards)
         return (
             f"{self.missing} of {self.total} variant(s) unresolved "

@@ -22,14 +22,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import ExperimentConfig
+from repro.exec.elastic import (
+    Chunk,
+    ElasticPolicy,
+    ElasticScheduler,
+    build_chunks,
+    default_worker_id,
+    whole_chunk,
+)
 from repro.exec.executor import PipelineFromConfig, SweepExecutor
 from repro.exec.resilience import ResiliencePolicy, ResilientExecutor
-from repro.exec.shard import FULL, ShardSpec, merge_report
+from repro.exec.shard import FULL, MergeReport, ShardSpec, merge_report
 from repro.figures import FigureTable
 from repro.scenarios.registry import Scenario
 from repro.scenarios.spec import ScenarioSpec, ScenarioVariant
@@ -60,6 +69,11 @@ class ScenarioResult:
     missing: int = 0
     missing_positions: List[int] = field(default_factory=list)
     missing_shards: List[int] = field(default_factory=list)
+    #: Elastic campaigns: unresolved positions never leased by any worker.
+    unclaimed_positions: List[int] = field(default_factory=list)
+    #: Elastic campaigns: unresolved positions whose lease was lost (owner
+    #: died past the re-dispatch budget).
+    lost_positions: List[int] = field(default_factory=list)
     sharded_out: bool = False
     metrics: Dict[str, float] = field(default_factory=dict)
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
@@ -74,6 +88,14 @@ class ScenarioResult:
     executor_pool_rebuilds: int = 0
     cache_quarantined: int = 0
     workers: int = 0
+    #: Elastic worker id this result was assembled by ("" = not elastic).
+    worker: str = ""
+    leases_claimed: int = 0
+    leases_stolen: int = 0
+    leases_expired: int = 0
+    duplicate_wins: int = 0
+    peers_joined: int = 0
+    peers_lost: int = 0
 
     def render(self) -> str:
         """All tables of the scenario, ready to print."""
@@ -108,6 +130,19 @@ class ScenarioRunner:
         :class:`~repro.exec.resilience.ResilientExecutor` (crash recovery,
         retry/timeout/backoff, straggler re-dispatch, chaos injection)
         instead of the plain :class:`SweepExecutor`.
+    elastic:
+        Optional :class:`~repro.exec.elastic.ElasticPolicy`; when given,
+        this invocation joins a cooperative work-stealing drain of each
+        scenario over ``workdir`` (see :mod:`repro.exec.elastic`) instead
+        of evaluating a static shard.  Mutually exclusive with a
+        non-trivial ``shard``; requires ``workdir``.
+    workdir:
+        The shared campaign directory elastic coordination state (leases,
+        worker heartbeats) lives under — normally the artifact/cache
+        directory every cooperating process was pointed at.
+    worker_id:
+        Stable identity of this elastic worker (lease ownership, cache
+        file name, chaos fault targeting).  Default: ``<hostname>-<pid>``.
     """
 
     def __init__(
@@ -120,13 +155,27 @@ class ScenarioRunner:
         shard: ShardSpec = FULL,
         pipeline_factory=None,
         resilience: Optional[ResiliencePolicy] = None,
+        elastic: Optional[ElasticPolicy] = None,
+        workdir: Optional[Path | str] = None,
+        worker_id: Optional[str] = None,
     ) -> None:
+        if elastic is not None:
+            if workdir is None:
+                raise ValueError("elastic execution needs a shared workdir")
+            if not shard.is_trivial:
+                raise ValueError(
+                    "elastic execution and static sharding are mutually "
+                    "exclusive (leases replace the --shard split)"
+                )
         self.scale = scale
         self.workers = workers
         self.engine = engine
         self.cache = cache
         self.shard = shard
         self.resilience = resilience
+        self.elastic = elastic
+        self.workdir = Path(workdir) if workdir is not None else None
+        self.worker_id = worker_id or default_worker_id()
         self._pipeline_factory = pipeline_factory or PipelineFromConfig
         self._executors: Dict[Tuple[str, str], SweepExecutor] = {}
 
@@ -149,7 +198,10 @@ class ScenarioRunner:
         key = (config.scale_name, engine)
         if key not in self._executors:
             factory = self._pipeline_factory(config, engine=engine)
-            if self.resilience is not None:
+            if self.resilience is not None or self.elastic is not None:
+                # Elastic drains always go through the resilient executor:
+                # its heartbeat hook is what keeps leases renewed while a
+                # chunk's tasks run.
                 self._executors[key] = ResilientExecutor(
                     pipeline_factory=factory,
                     workers=self.workers,
@@ -187,9 +239,15 @@ class ScenarioRunner:
         stats = executor.stats
         tasks_before, hits_before = stats.tasks_executed, stats.cache_hits
         events_before = stats.resilience_events()
+        elastic_before = stats.elastic_events()
         start = time.perf_counter()
         if scenario.strategy == "bisect":
-            result = self._run_bisect(scenario, executor)
+            if self.elastic is not None:
+                result = self._run_bisect_elastic(scenario, executor)
+            else:
+                result = self._run_bisect(scenario, executor)
+        elif self.elastic is not None:
+            result = self._run_grid_elastic(scenario, executor)
         else:
             result = self._run_grid(scenario, executor)
         result.scenario = scenario.name
@@ -209,6 +267,11 @@ class ScenarioRunner:
             events["pool_rebuilds"] - events_before["pool_rebuilds"]
         )
         result.cache_quarantined = events["quarantined"] - events_before["quarantined"]
+        elastic_events = stats.elastic_events()
+        for name in elastic_events:
+            setattr(result, name, elastic_events[name] - elastic_before[name])
+        if self.elastic is not None:
+            result.worker = self.worker_id
         result.workers = executor.workers
         return result
 
@@ -233,6 +296,137 @@ class ScenarioRunner:
         if not result.complete:
             return result
         self._assemble_grid(scenario, variants, resolved, baseline, result)
+        return result
+
+    # -------------------------------------------------------------- elastic
+    def _make_scheduler(
+        self, scenario: Scenario, executor: SweepExecutor
+    ) -> ElasticScheduler:
+        """The work-stealing scheduler of one scenario's cooperative drain."""
+        chaos = self.resilience.chaos if self.resilience is not None else None
+        return ElasticScheduler(
+            self.workdir,
+            scenario.name,
+            policy=self.elastic,
+            owner=self.worker_id,
+            stats=executor.stats,
+            chaos=chaos,
+        )
+
+    def _refresh_sibling_caches(self) -> None:
+        """Pick up results peers flushed since this process opened its cache."""
+        if self.workdir is None or not hasattr(self.cache, "preload"):
+            return
+        from repro.store import preload_sibling_caches
+
+        preload_sibling_caches(self.cache, self.workdir)
+
+    def _drain(
+        self,
+        scenario: Scenario,
+        executor: SweepExecutor,
+        chunks: Sequence[Chunk],
+        run_chunk,
+    ) -> Dict[str, str]:
+        """Run one scheduler drain with the lease heartbeat hook installed."""
+        scheduler = self._make_scheduler(scenario, executor)
+        previous = getattr(executor, "heartbeat", None)
+        if hasattr(executor, "heartbeat"):
+            executor.heartbeat = scheduler.heartbeat
+        try:
+            kinds = scheduler.drain(chunks, run_chunk)
+        finally:
+            if hasattr(executor, "heartbeat"):
+                executor.heartbeat = previous
+        self._refresh_sibling_caches()
+        self._last_categories = scheduler.categorize(chunks, kinds)
+        return kinds
+
+    def _run_grid_elastic(
+        self, scenario: Scenario, executor: SweepExecutor
+    ) -> ScenarioResult:
+        """Cooperatively drain a grid scenario's variant chunks via leases.
+
+        Every chunk's batch leads with the baseline (a cache hit after the
+        first), and the merged artifact is assembled from the *union* of
+        all workers' persistent caches — so it is bit-identical to an
+        unsharded single-process run regardless of which worker computed
+        which chunk, how many died, or how many duplicates raced.
+        """
+        variants = scenario.variants()
+        attacks = [variant.attack for variant in variants]
+        chunks = build_chunks(len(variants), self.elastic.chunk_size)
+
+        def run_chunk(chunk: Chunk) -> None:
+            executor.map([None] + [attacks[i] for i in chunk.positions])
+
+        self._drain(scenario, executor, chunks, run_chunk)
+        resolved = executor.peek_results(attacks)
+        baseline = executor.peek_results([None])[0]
+        unclaimed, lost = self._last_categories
+        missing = tuple(i for i, r in enumerate(resolved) if r is None)
+        # A done chunk whose results are nonetheless missing (its owner's
+        # cache file was lost after the marker landed) counts as lost.
+        unclaimed = tuple(i for i in unclaimed if i in set(missing))
+        lost = tuple(i for i in missing if i not in set(unclaimed))
+        report = MergeReport(
+            total=len(resolved),
+            count=1,
+            missing_positions=missing,
+            unclaimed_positions=unclaimed,
+            lost_positions=lost,
+        )
+        result = ScenarioResult(
+            complete=report.complete and baseline is not None,
+            missing=report.missing + (1 if baseline is None else 0),
+            missing_positions=list(report.missing_positions),
+            unclaimed_positions=list(report.unclaimed_positions),
+            lost_positions=list(report.lost_positions),
+        )
+        if not result.complete:
+            return result
+        self._assemble_grid(scenario, variants, resolved, baseline, result)
+        return result
+
+    def _run_bisect_elastic(
+        self, scenario: ScenarioSpec, executor: SweepExecutor
+    ) -> ScenarioResult:
+        """Whole-lease an adaptive scenario: one worker owns the whole search.
+
+        Probes depend on previous results, so the scenario is a single
+        indivisible chunk.  The claimer runs the search; a worker that
+        finds it already done re-assembles the result from the shared
+        caches (pure cache hits — the probe sequence is deterministic); a
+        worker that finds it held by a live peer skips it like a bisect
+        scenario owned by another static shard.
+        """
+        scheduler = self._make_scheduler(scenario, executor)
+        chunk = whole_chunk()
+        outcome, lease = scheduler.claim_whole(chunk)
+        if outcome == "busy":
+            return ScenarioResult(complete=False, sharded_out=True)
+        if outcome == "lost":
+            return ScenarioResult(
+                complete=False, missing=1, lost_positions=[0]
+            )
+        if outcome == "done":
+            self._refresh_sibling_caches()
+            return self._run_bisect(scenario, executor)
+        previous = getattr(executor, "heartbeat", None)
+        if hasattr(executor, "heartbeat"):
+            executor.heartbeat = scheduler.heartbeat
+        try:
+            if scheduler.chaos is not None:
+                scheduler.chaos.apply_elastic(
+                    f"{scheduler.owner}:{chunk.id}", lease.attempt
+                )
+            scheduler._current = lease
+            result = self._run_bisect(scenario, executor)
+        finally:
+            scheduler._current = None
+            if hasattr(executor, "heartbeat"):
+                executor.heartbeat = previous
+        scheduler.board.complete(chunk.id, scheduler.owner)
         return result
 
     def _assemble_grid(

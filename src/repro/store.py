@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import platform
+import re
 import shutil
 import subprocess
 import sys
@@ -148,6 +149,18 @@ def build_provenance(
             "requeues": getattr(result, "executor_requeues", 0),
             "pool_rebuilds": getattr(result, "executor_pool_rebuilds", 0),
             "cache_quarantined": getattr(result, "cache_quarantined", 0),
+        },
+        # Elastic work-stealing counters (repro.exec.elastic): all zero
+        # unless the campaign ran under ``--elastic``; like the resilience
+        # block they audit recovery without affecting the numbers.
+        "elastic": {
+            "worker": getattr(result, "worker", ""),
+            "leases_claimed": getattr(result, "leases_claimed", 0),
+            "leases_stolen": getattr(result, "leases_stolen", 0),
+            "leases_expired": getattr(result, "leases_expired", 0),
+            "duplicate_wins": getattr(result, "duplicate_wins", 0),
+            "peers_joined": getattr(result, "peers_joined", 0),
+            "peers_lost": getattr(result, "peers_lost", 0),
         },
         "versions": {
             "repro": repro.__version__,
@@ -538,6 +551,31 @@ class PersistentResultCache(ResultCache):
             entries.append((key, fields, result))
         return entries, corrupt
 
+    #: Pause before the single re-read of a sibling file that failed its
+    #: first read — long enough for a peer's atomic flush to land.
+    PRELOAD_RETRY_DELAY = 0.05
+
+    def _read_sibling_entries(self, path: Path):
+        """Read a *sibling* cache file, retrying once on a failed first read.
+
+        A peer flushing concurrently replaces the file between our
+        ``open`` and ``read`` — the first read can then see a vanished
+        file or (on filesystems without atomic rename visibility) torn
+        content.  That is transient, not corruption: one short retry
+        reads the peer's completed flush.  Only a *second* consecutive
+        failure is treated as real corruption (exceptions propagate,
+        corrupt-entry counts stand), so a healthy sibling mid-flush is
+        never quarantined.
+        """
+        try:
+            entries, bad = self._read_entries(path)
+            if not bad:
+                return entries, bad
+        except (CacheCorruptionError, OSError):
+            pass
+        time.sleep(self.PRELOAD_RETRY_DELAY)
+        return self._read_entries(path)
+
     def preload(self, path: Path | str) -> int:
         """Seed in-memory entries from *another* cache file, without adopting.
 
@@ -545,16 +583,18 @@ class PersistentResultCache(ResultCache):
         preloads) win.  Preloaded results are served as cache hits but are
         **not** re-persisted to this cache's file, so concurrent shard
         invocations writing disjoint files never clobber each other's
-        entries.  Corrupt sibling entries are skipped (counted in
-        ``quarantined_entries``) but the sibling file is left untouched —
-        its owning shard quarantines it.  Returns the number of entries
+        entries.  A first read that fails (a peer's concurrent flush
+        replacing the file mid-read) is retried once before anything is
+        counted as corrupt.  Corrupt sibling entries are skipped (counted
+        in ``quarantined_entries``) but the sibling file is left untouched
+        — its owning shard quarantines it.  Returns the number of entries
         added.
         """
         path = Path(path)
         added = 0
         if not path.exists():
             return added
-        entries, bad = self._read_entries(path)
+        entries, bad = self._read_sibling_entries(path)
         self.quarantined_entries += bad
         if bad:
             warnings.warn(
@@ -613,18 +653,48 @@ def open_shard_cache(directory: Path | str, shard=None) -> PersistentResultCache
     else:
         path = directory / f"cache.shard-{shard.index}-of-{shard.count}.json"
     cache = PersistentResultCache(path)
+    preload_sibling_caches(cache, directory)
+    return cache
+
+
+def preload_sibling_caches(cache: PersistentResultCache, directory: Path | str) -> int:
+    """Preload every ``cache*.json`` sibling in ``directory`` into ``cache``.
+
+    The merge primitive of both static sharding and elastic execution:
+    re-run after other invocations flushed and the in-memory union grows
+    to cover their results.  An unreadable or newer-schema *sibling* must
+    not block this invocation — its entries simply become cache misses
+    here (the cache's own file still fails loudly on open: silently
+    dropping our own persisted results would hide data loss).  Returns
+    the number of entries added.
+    """
+    directory = Path(directory)
+    added = 0
     for sibling in sorted(directory.glob("cache*.json")):
-        if sibling == path:
+        if sibling == cache.path:
             continue
         try:
-            cache.preload(sibling)
+            added += cache.preload(sibling)
         except (OSError, ValueError) as error:
-            # A corrupt or newer-schema *sibling* must not block this
-            # invocation — its entries simply become cache misses here
-            # (this cache's own file above still fails loudly: silently
-            # dropping our own persisted results would hide data loss).
             print(
                 f"warning: skipping unreadable sibling cache {sibling}: {error}",
                 file=sys.stderr,
             )
+    return added
+
+
+def open_worker_cache(directory: Path | str, worker_id: str) -> PersistentResultCache:
+    """The persistent cache for one *elastic* worker invocation.
+
+    Like :func:`open_shard_cache`, but keyed by worker id instead of a
+    static shard coordinate: each cooperating process persists to its own
+    ``cache.elastic-<worker>.json`` (never contending with peers on
+    writes) and preloads every sibling — so whichever worker finds the
+    union complete assembles the merged artifact, bit-identical to a
+    single-process run.
+    """
+    directory = Path(directory)
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", str(worker_id)) or "worker"
+    cache = PersistentResultCache(directory / f"cache.elastic-{safe}.json")
+    preload_sibling_caches(cache, directory)
     return cache
