@@ -1,0 +1,121 @@
+"""Serving hot-path benchmark: single-example vs microbatched scoring.
+
+The workload is serving-shaped: ``N_REQUESTS`` single-example requests,
+each Poisson-encoded with the keyed per-request stream
+(:meth:`~repro.snn.serving.ScoringEngine.encode_request`), scored through
+one snapshot-hydrated :class:`~repro.snn.serving.ScoringEngine`:
+
+* **single-example** — one ``score_rasters`` call per request, the latency
+  a no-batching front-end would pay.  Per-request wall-clock latencies
+  give the p50/p99 and examples/sec baselines.
+* **microbatched** — the same requests coalesced through
+  :class:`~repro.exec.microbatch.Microbatcher` into lockstep passes of
+  ``EXAMPLE_CHUNK``; per-example latency is each flush's wall-clock cost
+  amortised over its occupancy.
+
+Both paths produce identical predictions (per-lane independence of the
+batched engine — asserted here, pinned bit-exactly by
+``tests/test_snn_snapshot.py``), so the ``>= MIN_SERVING_SPEEDUP`` floor
+is a pure-throughput claim.  The measured p50/p99 latencies and
+examples/sec land in ``extra_info`` for the nightly ``BENCH_<date>.json``
+snapshots; ``tests/test_bench_snapshots.py`` checks their schema.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec.microbatch import Microbatcher
+from repro.snn.serving import ScoringEngine
+from repro.snn.snapshot import snapshot_from_pipeline
+
+#: Serving requests per measured pass.
+N_REQUESTS = 96
+
+#: Lockstep batch size of the microbatched path (the claim holds for any
+#: chunk >= 32; 64 is the pipeline's example-batching default).
+EXAMPLE_CHUNK = 64
+
+#: Throughput floor: microbatched examples/sec over single-example
+#: examples/sec (measured ~10-30x on the reference container; the floor is
+#: kept conservative for noisy CI runners).
+MIN_SERVING_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def serving_engine(pipeline) -> ScoringEngine:
+    """A scoring engine over a freshly-trained benchmark-scale snapshot."""
+    snapshot = snapshot_from_pipeline(pipeline)
+    return ScoringEngine(snapshot, example_chunk=EXAMPLE_CHUNK)
+
+
+@pytest.fixture(scope="module")
+def request_rasters(serving_engine, pipeline):
+    """Keyed-encoded request rasters over the held-out images."""
+    images = pipeline.eval_images
+    images = np.concatenate([images] * (1 + N_REQUESTS // len(images)))[:N_REQUESTS]
+    return [
+        serving_engine.encode_request(image, request_id)
+        for request_id, image in enumerate(images)
+    ]
+
+
+def _percentile_ms(latencies, q):
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
+
+
+def test_microbatched_scoring_beats_single_example(
+    benchmark, serving_engine, request_rasters
+):
+    # Single-example baseline: one engine pass per request.
+    single_latencies = []
+    single_labels = []
+    for raster in request_rasters:
+        start = time.perf_counter()
+        result = serving_engine.score_rasters(raster)
+        single_latencies.append(time.perf_counter() - start)
+        single_labels.append(result.labels[0])
+    single_seconds = sum(single_latencies)
+
+    def serve_microbatched():
+        flush_latencies = []
+
+        def score_batch(payloads):
+            start = time.perf_counter()
+            labels = list(serving_engine.score_rasters(np.stack(payloads)).labels)
+            elapsed = time.perf_counter() - start
+            flush_latencies.extend([elapsed / len(payloads)] * len(payloads))
+            return labels
+
+        batcher = Microbatcher(score_batch, example_chunk=EXAMPLE_CHUNK)
+        for request_id, raster in enumerate(request_rasters):
+            batcher.submit(request_id, raster)
+        batcher.drain()
+        labels = [batcher.result(rid) for rid in range(len(request_rasters))]
+        return labels, flush_latencies, batcher.stats
+
+    micro_labels, micro_latencies, stats = benchmark.pedantic(
+        serve_microbatched, rounds=3, iterations=1
+    )
+    micro_seconds = benchmark.stats.stats.mean
+
+    # Coalescing never changes predictions.
+    assert np.array_equal(np.asarray(micro_labels), np.asarray(single_labels))
+    assert stats.microbatch_requests == N_REQUESTS
+
+    speedup = single_seconds / micro_seconds
+    benchmark.extra_info["n_requests"] = N_REQUESTS
+    benchmark.extra_info["example_chunk"] = EXAMPLE_CHUNK
+    benchmark.extra_info["mean_occupancy"] = stats.mean_microbatch_occupancy()
+    benchmark.extra_info["single_p50_ms"] = _percentile_ms(single_latencies, 50)
+    benchmark.extra_info["single_p99_ms"] = _percentile_ms(single_latencies, 99)
+    benchmark.extra_info["single_examples_per_sec"] = N_REQUESTS / single_seconds
+    benchmark.extra_info["micro_p50_ms"] = _percentile_ms(micro_latencies, 50)
+    benchmark.extra_info["micro_p99_ms"] = _percentile_ms(micro_latencies, 99)
+    benchmark.extra_info["micro_examples_per_sec"] = N_REQUESTS / micro_seconds
+    benchmark.extra_info["serving_speedup"] = speedup
+    assert speedup >= MIN_SERVING_SPEEDUP, (
+        f"microbatched serving speedup {speedup:.2f}x below the "
+        f"{MIN_SERVING_SPEEDUP}x floor at chunk {EXAMPLE_CHUNK}"
+    )

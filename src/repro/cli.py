@@ -15,6 +15,24 @@ Figure subcommands:
     Render the artifacts in a results directory as comparison tables
     against the paper's published numbers.  Exits nonzero when an
     artifact is missing its arrays or fails schema/digest validation.
+    Snapshot artifacts are listed with their provenance (engine, scale,
+    git SHA) under the same integrity rules.
+
+Snapshot subcommands (the inference serving tier, :mod:`repro.snn.snapshot`
+and :mod:`repro.snn.serving`):
+
+``snapshot export``
+    Train one fig-8 pipeline at the chosen scale and persist its trained
+    state (weights, theta, thresholds, label assignments, encoding
+    parameters) as a schema-versioned, digest-verified JSON+NPZ artifact.
+    The snapshot records the evaluation accuracy and a SHA-256 of the
+    eval-set predictions so any later scoring can prove bitwise parity.
+``snapshot info``
+    Inspect a stored snapshot (digest-verified load).  ``--rescore``
+    hydrates the inference-only scoring engine, re-scores the held-out
+    split and exits nonzero unless accuracy and prediction digest match
+    the values recorded at export time — the cross-process serving-parity
+    check CI runs.
 
 Scenario subcommands (the declarative threat-scenario subsystem,
 :mod:`repro.scenarios`):
@@ -55,6 +73,8 @@ Examples::
     python -m repro list
     python -m repro run fig8 --scale smoke --workers 4 --out results/
     python -m repro report results/
+    python -m repro snapshot export --scale smoke --out results/
+    python -m repro snapshot info results/snapshot-fig8.json --rescore
     python -m repro scenarios list
     python -m repro scenarios run --all --scale smoke --out results/
     python -m repro scenarios run vdd_droop_fine --shard 0/4 --out results/
@@ -88,6 +108,7 @@ from repro.store import (
     git_revision,
     load_figure_result,
     load_scenario_result,
+    load_snapshot_result,
     open_shard_cache,
     save_figure_result,
     save_scenario_result,
@@ -215,6 +236,65 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="compare stored artifacts to the paper")
     report.add_argument("results_dir", metavar="DIR", help="artifact directory")
+
+    snapshot = sub.add_parser(
+        "snapshot", help="trained-state snapshots for serving (export/info)"
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    snap_export = snap_sub.add_parser(
+        "export",
+        help="train one fig-8 pipeline and persist its trained state",
+    )
+    snap_export.add_argument(
+        "--scale",
+        choices=sorted(ExperimentConfig.presets()),
+        default=None,
+        help="experiment scale preset (default: REPRO_SCALE or 'benchmark')",
+    )
+    snap_export.add_argument(
+        "--engine",
+        choices=("auto", "batched", "scalar", "sparse"),
+        default="auto",
+        help="SNN engine used for training and the recorded eval pass "
+        "(bit-identical results either way)",
+    )
+    snap_export.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="artifact directory (default: results/)",
+    )
+    snap_export.add_argument(
+        "--name",
+        default="fig8",
+        metavar="NAME",
+        help="snapshot artifact name: snapshot-<NAME>.json/.npz "
+        "(default: fig8)",
+    )
+    snap_export.add_argument(
+        "--quiet", action="store_true", help="suppress the summary table"
+    )
+
+    snap_info = snap_sub.add_parser(
+        "info", help="inspect a stored snapshot (digest-verified load)"
+    )
+    snap_info.add_argument(
+        "snapshot_path", metavar="JSON", help="path to a snapshot-*.json file"
+    )
+    snap_info.add_argument(
+        "--rescore",
+        action="store_true",
+        help="hydrate the scoring engine, re-score the held-out split and "
+        "exit nonzero unless accuracy and prediction SHA-256 match the "
+        "values recorded at export time",
+    )
+    snap_info.add_argument(
+        "--engine",
+        choices=("auto", "batched", "scalar", "sparse"),
+        default="auto",
+        help="scoring engine for --rescore (parity must hold either way)",
+    )
 
     scenarios = sub.add_parser(
         "scenarios", help="declarative attack scenarios (list/run/report)"
@@ -416,12 +496,29 @@ _BROKEN_JSON = {
 }
 
 
+def _snapshot_report_row(json_path: Path, stored) -> List[str]:
+    """One ``repro report`` table row for a snapshot artifact."""
+    provenance = stored.provenance
+    metrics = stored.metrics
+    accuracy = metrics.get("accuracy")
+    digest = metrics.get("eval_predictions_sha256", "")
+    return [
+        json_path.name,
+        stored.document.get("engine", "?") or "?",
+        provenance.get("scale", "?"),
+        str(provenance.get("git_sha", "?"))[:12],
+        f"{accuracy:.4f}" if accuracy is not None else "?",
+        digest[:12] if digest else "-",
+    ]
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     results_dir = Path(args.results_dir)
     if not results_dir.is_dir():
         print(f"{results_dir} is not a directory", file=sys.stderr)
         return 1
     documents = []
+    snapshot_rows: List[List[str]] = []
     failures: List[str] = []
     for json_path in sorted(results_dir.glob("*.json")):
         if json_path.name.startswith("cache"):
@@ -430,19 +527,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if kind in _BROKEN_JSON:
             failures.append(f"{json_path.name}: {_BROKEN_JSON[kind]}")
             continue
+        if kind == "snapshot":
+            # A snapshot with a missing or tampered NPZ is as fatal as a
+            # broken figure artifact — load (and digest-verify) it here.
+            try:
+                snapshot_rows.append(
+                    _snapshot_report_row(json_path, load_snapshot_result(json_path))
+                )
+            except (OSError, ValueError) as error:
+                failures.append(f"{json_path.name}: {error}")
+            continue
         if kind != "figure":
             continue
         try:
             documents.append(load_figure_result(json_path).document)
         except (OSError, ValueError) as error:
             failures.append(f"{json_path.name}: {error}")
-    if not documents and not failures:
+    if not documents and not snapshot_rows and not failures:
         print(f"no figure artifacts found in {results_dir}", file=sys.stderr)
         return 1
     if documents:
         print(format_artifact_summary(documents))
         print()
         print(format_paper_comparison(documents))
+    if snapshot_rows:
+        if documents:
+            print()
+        print(
+            format_table(
+                ["snapshot", "engine", "scale", "git sha", "accuracy", "digest"],
+                snapshot_rows,
+                title=f"Serving snapshots ({len(snapshot_rows)})",
+            )
+        )
     if failures:
         # The partial tables above are still useful, but a missing or
         # corrupt artifact must fail the invocation (CI depends on it).
@@ -451,6 +568,107 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Snapshot subcommands (the inference serving tier).
+# --------------------------------------------------------------------------
+
+
+def _cmd_snapshot_export(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import ClassificationPipeline
+    from repro.snn.snapshot import save_snapshot, snapshot_from_pipeline
+
+    if args.scale is not None:
+        config = ExperimentConfig.from_scale(args.scale)
+    else:
+        config = ExperimentConfig.from_environment(default="benchmark")
+    pipeline = ClassificationPipeline(config, engine=args.engine)
+    print(
+        f"[snapshot] training fig-8 pipeline (scale {config.scale_name}, "
+        f"engine {pipeline.resolved_engine})..."
+    )
+    snapshot = snapshot_from_pipeline(pipeline)
+    paths = save_snapshot(snapshot, args.out, name=args.name)
+    if not args.quiet:
+        rows = [
+            ("scale", config.scale_name),
+            ("engine", snapshot.engine),
+            ("seed", str(snapshot.seed)),
+            ("arrays", str(len(snapshot.arrays))),
+            ("accuracy", f"{snapshot.metrics['accuracy']:.4f}"),
+            ("predictions sha256", snapshot.metrics["eval_predictions_sha256"]),
+        ]
+        print(format_table(["field", "value"], rows, title=f"snapshot {args.name}"))
+    print(f"[snapshot] wrote {paths.json_path} + {paths.npz_path.name}")
+    return 0
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    from repro.snn.serving import ScoringEngine
+    from repro.snn.snapshot import load_snapshot
+
+    json_path = Path(args.snapshot_path)
+    try:
+        snapshot = load_snapshot(json_path)
+        stored = load_snapshot_result(json_path)
+    except (OSError, ValueError) as error:
+        print(f"{json_path}: {error}", file=sys.stderr)
+        return 1
+    provenance = stored.provenance
+    metrics = stored.metrics
+    rows = [
+        ("snapshot", stored.name),
+        ("model", snapshot.model.get("kind", "?")),
+        ("score layer", snapshot.score_layer),
+        ("engine", snapshot.engine or "?"),
+        ("scale", str(provenance.get("scale", "?"))),
+        ("seed", str(snapshot.seed)),
+        ("git sha", str(provenance.get("git_sha", "?"))),
+        ("arrays", str(len(snapshot.arrays))),
+        ("time steps", str(snapshot.time_steps)),
+        ("accuracy", f"{metrics.get('accuracy', float('nan')):.4f}"),
+        ("predictions sha256", metrics.get("eval_predictions_sha256", "-")),
+    ]
+    print(format_table(["field", "value"], rows, title=f"snapshot {stored.name}"))
+    if not args.rescore:
+        return 0
+
+    engine = ScoringEngine(snapshot, engine=args.engine)
+    evaluation = engine.evaluate()
+    expected_digest = metrics.get("eval_predictions_sha256")
+    expected_accuracy = metrics.get("accuracy")
+    digest_ok = evaluation.predictions_sha256 == expected_digest
+    accuracy_ok = evaluation.accuracy == expected_accuracy
+    print()
+    print(
+        format_table(
+            ["quantity", "stored", "rescored", "match"],
+            [
+                (
+                    "accuracy",
+                    f"{expected_accuracy:.6f}",
+                    f"{evaluation.accuracy:.6f}",
+                    "yes" if accuracy_ok else "NO",
+                ),
+                (
+                    "predictions sha256",
+                    str(expected_digest)[:16],
+                    evaluation.predictions_sha256[:16],
+                    "yes" if digest_ok else "NO",
+                ),
+            ],
+            title=f"serving parity ({engine.resolved_engine} engine)",
+        )
+    )
+    if not (digest_ok and accuracy_ok):
+        print(
+            f"{json_path.name}: rescored predictions diverge from the "
+            "snapshot's recorded evaluation",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -763,6 +981,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "snapshot":
+        if args.snapshot_command == "export":
+            return _cmd_snapshot_export(args)
+        return _cmd_snapshot_info(args)
     if args.command == "scenarios":
         if args.scenario_command == "list":
             return _cmd_scenarios_list(args)

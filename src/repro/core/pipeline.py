@@ -259,6 +259,22 @@ class ClassificationPipeline:
         records = attack.apply(injector)
         return network, records
 
+    def trained_network(
+        self, attack: Optional[PowerAttack] = None
+    ) -> Tuple[DiehlAndCook2015, np.ndarray, np.ndarray]:
+        """Train one network and return it with its label assignments.
+
+        The serving tier's capture point: the same build → inject → train →
+        assign sequence as :meth:`run`, stopped *before* evaluation so the
+        trained state (plus per-neuron assignments and class rates) can be
+        snapshotted by :func:`repro.snn.snapshot.snapshot_from_pipeline`.
+        """
+        attack = attack or NoAttack()
+        network, _records = self._attacked_network(attack)
+        self.train(network)
+        assignments, rates = self.assign(network)
+        return network, assignments, rates
+
     # ------------------------------------------------------------------- runs
     def run(self, attack: Optional[PowerAttack] = None) -> ExperimentResult:
         """Train and evaluate one network, optionally under a persistent attack."""

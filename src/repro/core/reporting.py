@@ -120,6 +120,21 @@ def format_execution_report(stats: "ExecutionStats", *, slowest: int = 5) -> str
     for key, count in stats.elastic_events().items():
         if count:
             rows.append((elastic_labels[key], str(count)))
+    # Microbatch serving counters, only when the serving front-end ran.
+    serving_labels = {
+        "microbatches": "microbatches formed",
+        "microbatch_requests": "serving requests",
+        "microbatch_full_flushes": "full flushes",
+        "microbatch_linger_flushes": "linger flushes",
+        "microbatch_drain_flushes": "drain flushes",
+    }
+    for key, count in stats.serving_events().items():
+        if count:
+            rows.append((serving_labels[key], str(count)))
+    if stats.microbatches:
+        rows.append(
+            ("mean batch occupancy", f"{stats.mean_microbatch_occupancy():.2f}")
+        )
     for timing in stats.slowest_tasks(slowest):
         # Drop the experiment-config scope prefix: within one report every
         # task shares it, and the attack content is the informative part.

@@ -35,6 +35,12 @@ train-and-evaluate pipeline runs per figure.  This package factors the
   plus whole-process kill/stall and lease corruption for elastic drains)
   that regression-tests the resilience layer and backs the ``--chaos``
   CLI flag.
+* :class:`~repro.exec.microbatch.Microbatcher` — the serving front-end:
+  coalesces a stream of single-example scoring requests into lockstep
+  passes of up to ``example_chunk`` through the batched engine, with a
+  max-linger deadline bounding per-request latency, out-of-order-safe
+  result demux, and flush/occupancy counters surfaced through
+  :class:`~repro.exec.executor.ExecutionStats`.
 * :class:`~repro.exec.elastic.ElasticScheduler` — coordinator-free
   work-stealing over a shared directory (the ``--elastic`` flag): workers
   claim variant chunks through atomic heartbeat lease files, steal leases
@@ -75,6 +81,7 @@ from repro.exec.executor import (
     TaskTiming,
     default_worker_count,
 )
+from repro.exec.microbatch import DEFAULT_LINGER, FLUSH_CAUSES, Microbatcher
 from repro.exec.resilience import (
     ResilienceExecutorError,
     ResiliencePolicy,
@@ -91,7 +98,10 @@ __all__ = [
     "CHAOS_PLANS",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_LINGER",
+    "FLUSH_CAUSES",
     "FULL",
+    "Microbatcher",
     "Chunk",
     "ElasticPolicy",
     "ElasticScheduler",

@@ -124,6 +124,15 @@ class ExecutionStats:
     duplicate_wins: int = 0
     peers_joined: int = 0
     peers_lost: int = 0
+    #: Serving counters (filled by :class:`repro.exec.microbatch.Microbatcher`):
+    #: lockstep microbatches formed, single-example requests coalesced into
+    #: them, and how each flush was triggered (batch full, max-linger
+    #: deadline, or explicit drain/close).
+    microbatches: int = 0
+    microbatch_requests: int = 0
+    microbatch_full_flushes: int = 0
+    microbatch_linger_flushes: int = 0
+    microbatch_drain_flushes: int = 0
 
     def record(self, timing: TaskTiming) -> None:
         """Account one finished task (cached or freshly executed)."""
@@ -163,6 +172,25 @@ class ExecutionStats:
             "peers_joined": self.peers_joined,
             "peers_lost": self.peers_lost,
         }
+
+    def serving_events(self) -> Dict[str, int]:
+        """The microbatch serving counters as a dict (all zero outside the
+        serving path).  Invariant: the three flush-cause counters always sum
+        to ``microbatches``, and ``microbatch_requests`` equals the number of
+        requests demuxed back to callers."""
+        return {
+            "microbatches": self.microbatches,
+            "microbatch_requests": self.microbatch_requests,
+            "microbatch_full_flushes": self.microbatch_full_flushes,
+            "microbatch_linger_flushes": self.microbatch_linger_flushes,
+            "microbatch_drain_flushes": self.microbatch_drain_flushes,
+        }
+
+    def mean_microbatch_occupancy(self) -> float:
+        """Mean requests per formed microbatch (0.0 when none formed)."""
+        if self.microbatches == 0:
+            return 0.0
+        return self.microbatch_requests / self.microbatches
 
     def slowest_tasks(self, count: int = 5) -> List[TaskTiming]:
         """The ``count`` slowest executed (non-cached) tasks."""

@@ -1,0 +1,182 @@
+"""Microbatching front-end: coalesce single-example requests into lockstep passes.
+
+Serving traffic arrives one example at a time, but the batched SNN engine
+is fastest advancing ``example_chunk`` examples in lockstep
+(:mod:`repro.snn.batched`, ~linear in time steps, nearly flat in lane
+count).  :class:`Microbatcher` sits between the two: requests queue until
+either the batch is full (**full** flush) or the oldest pending request
+has waited ``linger`` seconds (**linger** flush, bounding worst-case
+latency); any remainder is flushed on drain/close (**drain** flush).
+
+Correctness rests on the serving tier's invariances, not on timing:
+per-lane independence of the batched engine makes a batch's scores
+bit-identical to scoring each example alone, and keyed per-request
+encoding (:meth:`repro.snn.serving.ScoringEngine.encode_request`) makes
+each payload independent of arrival order.  Any partition of a request
+stream into microbatches therefore demuxes to exactly the predictions of
+one monolithic pass — the property suite in
+``tests/test_property_based.py`` drives random partitions and orderings
+through this contract.
+
+Counters (batches formed, request totals, flush causes) feed the shared
+:class:`~repro.exec.executor.ExecutionStats` instrumentation and surface
+through :func:`repro.core.reporting.format_execution_report`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.executor import ExecutionStats
+from repro.utils.validation import check_positive
+
+#: Default maximum time (seconds) the oldest pending request may linger
+#: before a partial batch is flushed anyway.
+DEFAULT_LINGER = 0.005
+
+#: Flush causes, in the order the counters report them.
+FLUSH_CAUSES = ("full", "linger", "drain")
+
+
+class Microbatcher:
+    """Coalesces single-example scoring requests into lockstep batches.
+
+    Parameters
+    ----------
+    score_batch:
+        Callable mapping a list of request payloads to a sequence of
+        results of the same length and order (e.g. encoded rasters in,
+        predicted labels out).  Invoked once per formed microbatch.
+    example_chunk:
+        Maximum requests per lockstep pass; a full queue flushes
+        immediately.
+    linger:
+        Maximum seconds the *oldest* pending request may wait before a
+        partial batch is flushed (checked by :meth:`poll`).
+    stats:
+        Optional shared :class:`~repro.exec.executor.ExecutionStats` to
+        accumulate the serving counters into (a private one by default).
+    time_source:
+        Monotonic clock used for the linger deadline — injectable so the
+        flush rules are deterministic under test.
+
+    The batcher is a context manager: leaving the ``with`` block drains
+    any pending requests, so no submitted request is ever lost.
+    """
+
+    def __init__(
+        self,
+        score_batch: Callable[[List[Any]], Sequence[Any]],
+        *,
+        example_chunk: int = 64,
+        linger: float = DEFAULT_LINGER,
+        stats: Optional[ExecutionStats] = None,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._score_batch = score_batch
+        self.example_chunk = int(check_positive(example_chunk, "example_chunk"))
+        self.linger = float(check_positive(linger, "linger"))
+        self.stats = stats if stats is not None else ExecutionStats()
+        self._now = time_source
+        #: Pending requests in arrival order: ``(request_id, payload)``.
+        self._pending: List[Tuple[Any, Any]] = []
+        self._oldest_enqueued_at: Optional[float] = None
+        self._results: Dict[Any, Any] = {}
+        self._seen: set = set()
+
+    # --------------------------------------------------------------- ingress
+    def submit(self, request_id: Any, payload: Any) -> None:
+        """Enqueue one request; flushes immediately when the batch fills.
+
+        ``request_id`` must be unique over the batcher's lifetime —
+        duplicate ids would make the demux ambiguous, so they raise
+        :class:`ValueError` instead of silently overwriting.
+        """
+        if request_id in self._seen:
+            raise ValueError(f"duplicate request id {request_id!r}")
+        self._seen.add(request_id)
+        if not self._pending:
+            self._oldest_enqueued_at = self._now()
+        self._pending.append((request_id, payload))
+        if len(self._pending) >= self.example_chunk:
+            self._flush("full")
+
+    def poll(self) -> int:
+        """Flush a partial batch whose oldest request exceeded ``linger``.
+
+        Call periodically (or whenever the event loop is idle).  Returns
+        the number of requests flushed (0 when the deadline has not
+        passed or nothing is pending).
+        """
+        if (
+            self._pending
+            and self._now() - self._oldest_enqueued_at >= self.linger
+        ):
+            return self._flush("linger")
+        return 0
+
+    def drain(self) -> int:
+        """Flush whatever is pending regardless of deadlines."""
+        if not self._pending:
+            return 0
+        return self._flush("drain")
+
+    # ---------------------------------------------------------------- egress
+    def result(self, request_id: Any) -> Any:
+        """The scored result for one request (out-of-order safe).
+
+        Results may be claimed in any order relative to submission.  If
+        the request is still pending, its batch is drained first, so a
+        caller can always exchange a submitted id for a result.  Unknown
+        ids raise :class:`KeyError`.
+        """
+        if request_id not in self._results:
+            if any(rid == request_id for rid, _payload in self._pending):
+                self._flush("drain")
+            elif request_id not in self._seen:
+                raise KeyError(f"unknown request id {request_id!r}")
+        return self._results.pop(request_id)
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted requests not yet scored."""
+        return len(self._pending)
+
+    # ----------------------------------------------------------------- flush
+    def _flush(self, cause: str) -> int:
+        batch = self._pending
+        self._pending = []
+        self._oldest_enqueued_at = None
+        payloads = [payload for _rid, payload in batch]
+        outputs = self._score_batch(payloads)
+        if len(outputs) != len(batch):
+            raise RuntimeError(
+                f"score_batch returned {len(outputs)} results for "
+                f"{len(batch)} requests"
+            )
+        for (request_id, _payload), output in zip(batch, outputs):
+            self._results[request_id] = output
+        self.stats.microbatches += 1
+        self.stats.microbatch_requests += len(batch)
+        if cause == "full":
+            self.stats.microbatch_full_flushes += 1
+        elif cause == "linger":
+            self.stats.microbatch_linger_flushes += 1
+        else:
+            self.stats.microbatch_drain_flushes += 1
+        return len(batch)
+
+    # -------------------------------------------------------- context manager
+    def __enter__(self) -> "Microbatcher":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Microbatcher(example_chunk={self.example_chunk}, "
+            f"pending={len(self._pending)}, "
+            f"batches={self.stats.microbatches})"
+        )

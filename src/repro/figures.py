@@ -783,6 +783,36 @@ def run_fig8(context: FigureContext) -> FigureResult:
     )
 
 
+def fig8_accuracy_from_snapshot(
+    json_path, *, engine: str = "auto"
+) -> Dict[str, object]:
+    """Reproduce a snapshot's fig-8 baseline accuracy without retraining.
+
+    Loads a snapshot artifact exported by ``python -m repro snapshot
+    export``, hydrates the inference-only scoring engine
+    (:class:`repro.snn.serving.ScoringEngine`) and re-scores the held-out
+    split.  Returns the rescored accuracy, its prediction digest and
+    whether both are bit-identical to the values the exporting (live)
+    pipeline recorded — the serving tier's whole-figure parity statement.
+    """
+    from repro.snn.serving import ScoringEngine
+    from repro.snn.snapshot import load_snapshot
+
+    snapshot = load_snapshot(json_path)
+    evaluation = ScoringEngine(snapshot, engine=engine).evaluate()
+    stored = snapshot.metrics
+    return {
+        "accuracy": evaluation.accuracy,
+        "predictions_sha256": evaluation.predictions_sha256,
+        "stored_accuracy": stored.get("accuracy"),
+        "stored_predictions_sha256": stored.get("eval_predictions_sha256"),
+        "parity": (
+            evaluation.accuracy == stored.get("accuracy")
+            and evaluation.predictions_sha256 == stored.get("eval_predictions_sha256")
+        ),
+    }
+
+
 @figure(
     "fig9a",
     title="Fig. 9a — Attack 5: black-box global-VDD fault",

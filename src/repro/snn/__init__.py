@@ -21,6 +21,12 @@ run without PyTorch:
   and the ``MODEL_VARIANTS`` registry the parity suite iterates.
 * :mod:`repro.snn.evaluation` — neuron-to-class assignment and the
   all-activity / proportion-weighting accuracy metrics.
+* :mod:`repro.snn.snapshot` — trained-state snapshots: capture a trained
+  network (weights, theta, thresholds, labels, encoding params) into a
+  schema-versioned, digest-verified ``store`` artifact and hydrate it back.
+* :mod:`repro.snn.serving` — the inference-only scoring engine: hydrates a
+  snapshot straight into the batched engine and scores examples (clean or
+  under an injected fault) without any training.
 """
 
 from repro.snn.batched import (
@@ -54,6 +60,22 @@ from repro.snn.evaluation import (
     classification_accuracy,
     proportion_weighting_prediction,
 )
+from repro.snn.serving import (
+    SERVING_ENGINES,
+    ScoreResult,
+    ScoringEngine,
+    ServingEvaluation,
+)
+from repro.snn.snapshot import (
+    NetworkSnapshot,
+    SnapshotError,
+    capture_snapshot,
+    hydrate_network,
+    load_snapshot,
+    prediction_digest,
+    save_snapshot,
+    snapshot_from_pipeline,
+)
 
 __all__ = [
     "BatchedNetwork",
@@ -85,4 +107,16 @@ __all__ = [
     "all_activity_prediction",
     "proportion_weighting_prediction",
     "classification_accuracy",
+    "NetworkSnapshot",
+    "SnapshotError",
+    "capture_snapshot",
+    "hydrate_network",
+    "load_snapshot",
+    "prediction_digest",
+    "save_snapshot",
+    "snapshot_from_pipeline",
+    "SERVING_ENGINES",
+    "ScoreResult",
+    "ScoringEngine",
+    "ServingEvaluation",
 ]

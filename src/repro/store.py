@@ -287,6 +287,8 @@ def classify_artifact_json(json_path: Path | str) -> str:
         return "figure"
     if "scenario" in document:
         return "scenario"
+    if "snapshot" in document:
+        return "snapshot"
     return "other"
 
 
@@ -384,6 +386,50 @@ def load_scenario_result(json_path: Path | str) -> StoredScenario:
 def is_scenario_artifact(json_path: Path | str) -> bool:
     """True when ``json_path`` looks like a scenario artifact document."""
     return classify_artifact_json(json_path) == "scenario"
+
+
+# --------------------------------------------------------------------------
+# Snapshot artifacts (the ``python -m repro snapshot`` serving tier).
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StoredSnapshot:
+    """A trained-state snapshot artifact loaded back from disk.
+
+    Written by :func:`repro.snn.snapshot.save_snapshot`; the ``arrays``
+    dict holds the verified network state (``layer.*`` / ``connection.*``
+    keys) plus the label-assignment arrays (``labels.*``).
+    """
+
+    document: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def name(self) -> str:
+        """The snapshot's artifact name (e.g. ``"fig8"``)."""
+        return self.document["snapshot"]
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Training-time metrics (accuracy, prediction digest, ...)."""
+        return self.document.get("metrics", {})
+
+    @property
+    def provenance(self) -> Dict[str, Any]:
+        """Config/seed/git-SHA/timing provenance of the exporting run."""
+        return self.document["provenance"]
+
+
+def load_snapshot_result(json_path: Path | str) -> StoredSnapshot:
+    """Load one snapshot artifact pair; verifies schema and array digests."""
+    document, arrays = _load_artifact_pair(Path(json_path))
+    return StoredSnapshot(document=document, arrays=arrays)
+
+
+def is_snapshot_artifact(json_path: Path | str) -> bool:
+    """True when ``json_path`` looks like a snapshot artifact document."""
+    return classify_artifact_json(json_path) == "snapshot"
 
 
 def _atomic_write_json(path: Path, payload: Any) -> None:

@@ -55,6 +55,46 @@ class TestSnapshotSchema:
                     f"{bench['name']}: extra_info[{key!r}] is not a scalar"
                 )
 
+    def test_serving_hotpath_metrics_are_well_formed(self, path):
+        """Snapshots from the serving era carry the latency/throughput schema.
+
+        ``benchmarks/test_serving_hotpath.py`` (added 2026-08-07) reports
+        p50/p99 per-example latency and examples/sec for single-example vs
+        microbatched scoring, plus the measured speedup, in ``extra_info``.
+        Snapshots dated on or after that day must include the entry; any
+        snapshot carrying one must have a complete, consistent schema.
+        """
+        required = (
+            "single_p50_ms",
+            "single_p99_ms",
+            "single_examples_per_sec",
+            "micro_p50_ms",
+            "micro_p99_ms",
+            "micro_examples_per_sec",
+            "serving_speedup",
+            "example_chunk",
+        )
+        payload = json.loads(path.read_text())
+        serving = [
+            bench
+            for bench in payload["benchmarks"]
+            if "test_serving_hotpath" in bench.get("fullname", bench["name"])
+        ]
+        date = datetime.strptime(SNAPSHOT_NAME.match(path.name).group(1), "%Y-%m-%d")
+        if date >= datetime(2026, 8, 7):
+            assert serving, f"{path.name} misses the serving hot-path benchmark"
+        for bench in serving:
+            extra = bench.get("extra_info", {})
+            for key in required:
+                assert key in extra, f"{bench['name']}: extra_info misses {key!r}"
+            assert extra["example_chunk"] >= 32
+            assert extra["serving_speedup"] >= 3.0
+            assert 0.0 < extra["single_p50_ms"] <= extra["single_p99_ms"]
+            assert 0.0 < extra["micro_p50_ms"] <= extra["micro_p99_ms"]
+            assert (
+                extra["micro_examples_per_sec"] > extra["single_examples_per_sec"]
+            )
+
     def test_snapshot_records_the_large_n_scaling_curve(self, path):
         """Every snapshot carries the sparse-tier crossbar series.
 

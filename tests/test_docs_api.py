@@ -45,6 +45,9 @@ class TestApiDocsBuild:
             "repro_scenarios_runner.md",
             "repro_exec_shard.md",
             "repro_snn_batched.md",
+            "repro_snn_snapshot.md",
+            "repro_snn_serving.md",
+            "repro_exec_microbatch.md",
             "repro_analog_compiled.md",
             "repro_analog_sparse.md",
             "repro_circuits_crossbar.md",

@@ -9,10 +9,18 @@ from repro.analog import Circuit, NMOS_65NM, PMOS_65NM, dc_operating_point
 from repro.analog.units import parse_value, si_format
 from repro.analog.waveform import Waveform
 from repro.attacks import FaultInjector
+from repro.exec.microbatch import Microbatcher
 from repro.neurons import AxonHillockModel, CurrentDriverModel, IFAmplifierModel
 from repro.snn.encoding import poisson_encode
 from repro.snn.evaluation import all_activity_prediction, assign_labels, classification_accuracy
-from repro.snn.models import DiehlAndCook2015, DiehlAndCookParameters, EXCITATORY_LAYER
+from repro.snn.models import (
+    DiehlAndCook2015,
+    DiehlAndCookParameters,
+    EXCITATORY_LAYER,
+    MODEL_VARIANTS,
+)
+from repro.snn.serving import ScoringEngine
+from repro.snn.snapshot import capture_snapshot
 from repro.utils.rng import RandomState
 from repro.utils.tables import format_table
 
@@ -250,6 +258,138 @@ def test_fault_injector_affects_exactly_the_requested_fraction(fraction, scale):
     corrupted = ~np.isclose(network.excitatory_layer.threshold_scale, 1.0)
     if not np.isclose(scale, 1.0):
         assert corrupted.sum() == record.n_affected
+
+
+# ------------------------------------------------------------- microbatching
+_SERVING_CACHE = {}
+
+
+def _tiny_serving_engine() -> ScoringEngine:
+    """One small snapshot-backed scoring engine, shared across examples.
+
+    Scoring is stateless (per-presentation transients reset every pass), so
+    hypothesis examples can share the hydrated engine without interacting.
+    """
+    if "engine" not in _SERVING_CACHE:
+        network = MODEL_VARIANTS["lif_feedforward_postpre"](3)
+        n_readout = network.layers["readout"].n
+        snapshot = capture_snapshot(
+            network,
+            seed=3,
+            time_steps=30,
+            max_rate=63.75,
+            model={"kind": "variant", "name": "lif_feedforward_postpre"},
+            assignments=np.random.default_rng(0).integers(0, 3, n_readout),
+            n_classes=3,
+            with_defenses=False,
+        )
+        _SERVING_CACHE["engine"] = ScoringEngine(snapshot)
+    return _SERVING_CACHE["engine"]
+
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_microbatch_partition_and_order_never_change_predictions(data):
+    """Any partition into microbatches, any arrival order: same predictions.
+
+    Keyed per-request encoding plus per-lane independence of the batched
+    engine make the demuxed predictions of an arbitrarily-partitioned,
+    arbitrarily-ordered request stream ``np.array_equal`` to one monolithic
+    pass over the same requests — including size-1 batches and ragged
+    tails, which the drawn ``example_chunk`` and clock jumps produce.
+    """
+    engine = _tiny_serving_engine()
+    n_inputs = engine.network.layers["input"].n
+    n = data.draw(st.integers(min_value=3, max_value=10), label="n_requests")
+    chunk = data.draw(st.integers(min_value=1, max_value=4), label="example_chunk")
+    image_seed = data.draw(st.integers(min_value=0, max_value=10**6))
+    images = np.random.default_rng(image_seed).random((n, n_inputs)) * 255.0
+    rasters = [engine.encode_request(image, rid) for rid, image in enumerate(images)]
+    monolithic = engine.score_rasters(np.stack(rasters))
+
+    clock = [0.0]
+    batcher = Microbatcher(
+        lambda payloads: list(engine.score_rasters(np.stack(payloads)).labels),
+        example_chunk=chunk,
+        linger=1.0,
+        time_source=lambda: clock[0],
+    )
+    arrival = data.draw(st.permutations(list(range(n))), label="arrival order")
+    for rid in arrival:
+        batcher.submit(rid, rasters[rid])
+        if data.draw(st.booleans()):
+            clock[0] += data.draw(
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+            )
+            batcher.poll()
+    batcher.drain()
+
+    claim = data.draw(st.permutations(list(range(n))), label="claim order")
+    results = {rid: batcher.result(rid) for rid in claim}
+    demuxed = np.array([results[rid] for rid in range(n)])
+    assert np.array_equal(demuxed, monolithic.labels)
+
+    events = batcher.stats.serving_events()
+    assert events["microbatch_requests"] == n
+    assert (
+        events["microbatch_full_flushes"]
+        + events["microbatch_linger_flushes"]
+        + events["microbatch_drain_flushes"]
+        == events["microbatches"]
+    )
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=8),
+    chunk=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_microbatch_counters_always_sum_to_requests(sizes, chunk):
+    """Counter invariants hold for every submit/drain interleaving."""
+    batcher = Microbatcher(
+        lambda payloads: [payload * 10 for payload in payloads],
+        example_chunk=chunk,
+        time_source=lambda: 0.0,
+    )
+    rid = 0
+    for size in sizes:
+        for _ in range(size):
+            batcher.submit(rid, rid)
+            rid += 1
+        batcher.drain()
+    assert batcher.pending == 0
+    events = batcher.stats.serving_events()
+    assert events["microbatch_requests"] == rid == sum(sizes)
+    assert (
+        events["microbatch_full_flushes"]
+        + events["microbatch_linger_flushes"]
+        + events["microbatch_drain_flushes"]
+        == events["microbatches"]
+    )
+    assert 0.0 < batcher.stats.mean_microbatch_occupancy() <= chunk
+    for i in range(rid):
+        assert batcher.result(i) == i * 10
+    with pytest.raises(KeyError):
+        batcher.result(rid + 1)
+
+
+def test_microbatch_rejects_duplicate_request_ids():
+    batcher = Microbatcher(lambda payloads: payloads, example_chunk=4)
+    batcher.submit("a", 1)
+    with pytest.raises(ValueError, match="duplicate"):
+        batcher.submit("a", 2)
+
+
+def test_microbatch_context_manager_drains_pending():
+    flushed = []
+    with Microbatcher(
+        lambda payloads: flushed.append(list(payloads)) or payloads,
+        example_chunk=10,
+    ) as batcher:
+        batcher.submit(0, "x")
+        batcher.submit(1, "y")
+    assert flushed == [["x", "y"]]
+    assert batcher.stats.microbatch_drain_flushes == 1
 
 
 # ------------------------------------------------------------------ reporting

@@ -12,9 +12,10 @@ docstrings.
 
 ``--check`` additionally enforces docstring coverage on the API-critical
 modules (``repro.scenarios``, ``repro.exec``, ``repro.snn.batched``,
-``repro.analog.compiled``, ``repro.analog.sparse``,
-``repro.circuits.crossbar``): any public function, class, method or
-property there without a docstring fails the build.  The ``docs`` CI job
+``repro.snn.snapshot``, ``repro.snn.serving``, ``repro.analog.compiled``,
+``repro.analog.sparse``, ``repro.circuits.crossbar``): any public
+function, class, method or property there without a docstring fails the
+build.  The ``docs`` CI job
 runs ``python tools/gen_api_docs.py --out docs/api --check``.
 
 Usage::
@@ -40,6 +41,8 @@ COVERAGE_TARGETS = (
     "repro.scenarios",
     "repro.exec",
     "repro.snn.batched",
+    "repro.snn.snapshot",
+    "repro.snn.serving",
     "repro.analog.compiled",
     "repro.analog.sparse",
     "repro.circuits.crossbar",
